@@ -1,0 +1,89 @@
+(* The benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (the same rows `bin/repro all` prints), then runs
+   one Bechamel micro-benchmark per table/figure, timing the simulation
+   that regenerates it (at reduced horizons, so the measurement loop
+   stays tractable).
+
+   Usage:
+     dune exec bench/main.exe              reproduction rows + bechamel
+     dune exec bench/main.exe -- rows      reproduction rows only
+     dune exec bench/main.exe -- bench     bechamel timings only
+     dune exec bench/main.exe -- quick     reduced-horizon rows + bechamel
+*)
+
+open Cm_experiments
+
+let bench_scheme_counting scheme requesters () =
+  ignore
+    (Counting_run.run scheme
+       {
+         Counting_run.default with
+         Counting_run.requesters;
+         horizon = 60_000;
+         warmup = 10_000;
+       })
+
+let bench_scheme_btree scheme think () =
+  ignore
+    (Btree_run.run scheme
+       { Btree_run.default with Btree_run.think; horizon = 60_000; warmup = 10_000 })
+
+let bench_fig1 () =
+  (* One large cell of the message-model sweep per mechanism. *)
+  ignore (Fig1.run_messaging ~access:Cm_runtime.Runtime.Migrate ~n:16 ~m:32);
+  ignore (Fig1.run_messaging ~access:Cm_runtime.Runtime.Rpc ~n:16 ~m:32);
+  ignore (Fig1.run_shmem ~n:16 ~m:32)
+
+let bench_table5 () = ignore (Table5.measure_one_migration ())
+
+let bechamel_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"fig1:message-model" (Staged.stage bench_fig1);
+    Test.make ~name:"fig2:counting-throughput"
+      (Staged.stage (bench_scheme_counting (Scheme.Cp { hw = false; repl = false }) 32));
+    Test.make ~name:"fig3:counting-bandwidth"
+      (Staged.stage (bench_scheme_counting Scheme.Sm 32));
+    Test.make ~name:"table1:btree-throughput"
+      (Staged.stage (bench_scheme_btree (Scheme.Cp { hw = false; repl = false }) 0));
+    Test.make ~name:"table2:btree-bandwidth" (Staged.stage (bench_scheme_btree Scheme.Sm 0));
+    Test.make ~name:"table3:btree-think"
+      (Staged.stage (bench_scheme_btree (Scheme.Cp { hw = false; repl = true }) 10_000));
+    Test.make ~name:"table4:btree-think-bw" (Staged.stage (bench_scheme_btree Scheme.Sm 10_000));
+    Test.make ~name:"table5:migration-cost" (Staged.stage bench_table5);
+    Test.make ~name:"fanout10:small-nodes"
+      (Staged.stage (fun () ->
+           ignore
+             (Btree_run.run
+                (Scheme.Cp { hw = false; repl = true })
+                { Btree_run.fanout10 with Btree_run.horizon = 60_000; warmup = 10_000 })));
+  ]
+
+let run_bechamel () =
+  print_endline "\n=== Bechamel micro-benchmarks (wall-clock of the regenerating sims) ===";
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name measurements ->
+          let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+          let stats = Analyze.one ols Toolkit.Instance.monotonic_clock measurements in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    bechamel_tests
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let quick = mode = "quick" in
+  if mode <> "bench" then begin
+    print_endline "Reproduction of every table and figure (see EXPERIMENTS.md for discussion):";
+    Registry.run_all ~quick ()
+  end;
+  if mode <> "rows" then run_bechamel ()

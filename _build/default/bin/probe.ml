@@ -1,0 +1,49 @@
+(* Quick calibration probe: print metrics for key scheme/app combos. *)
+open Cm_experiments
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let horizon = if quick then 150_000 else 400_000 in
+  Printf.printf "--- counting network, think=0, requesters=16 ---\n%!";
+  List.iter
+    (fun s ->
+      let m =
+        Counting_run.run s { Counting_run.default with Counting_run.horizon; requesters = 16 }
+      in
+      Printf.printf "%-18s %s\n%!" (Scheme.name s)
+        (Format.asprintf "%a" Cm_workload.Metrics.pp m))
+    [
+      Scheme.Sm;
+      Scheme.Cp { hw = true; repl = false };
+      Scheme.Cp { hw = false; repl = false };
+      Scheme.Rpc { hw = true; repl = false };
+      Scheme.Rpc { hw = false; repl = false };
+    ];
+  Printf.printf "--- counting network, think=0, requesters=64 ---\n%!";
+  List.iter
+    (fun s ->
+      let m =
+        Counting_run.run s
+          { Counting_run.default with Counting_run.horizon; requesters = 64 }
+      in
+      Printf.printf "%-18s %s\n%!" (Scheme.name s)
+        (Format.asprintf "%a" Cm_workload.Metrics.pp m))
+    [ Scheme.Sm; Scheme.Cp { hw = true; repl = false }; Scheme.Rpc { hw = false; repl = false } ];
+  Printf.printf "--- btree fanout=100, think=0 ---\n%!";
+  List.iter
+    (fun s ->
+      let m = Btree_run.run s { Btree_run.default with Btree_run.horizon } in
+      Printf.printf "%-18s %s hit=%.3f\n%!" (Scheme.name s)
+        (Format.asprintf "%a" Cm_workload.Metrics.pp m)
+        m.Cm_workload.Metrics.cache_hit_rate)
+    [
+      Scheme.Sm;
+      Scheme.Rpc { hw = false; repl = false };
+      Scheme.Rpc { hw = true; repl = false };
+      Scheme.Rpc { hw = false; repl = true };
+      Scheme.Rpc { hw = true; repl = true };
+      Scheme.Cp { hw = false; repl = false };
+      Scheme.Cp { hw = true; repl = false };
+      Scheme.Cp { hw = false; repl = true };
+      Scheme.Cp { hw = true; repl = true };
+    ]

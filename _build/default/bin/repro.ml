@@ -1,0 +1,98 @@
+(* Command-line driver: regenerate any table or figure of the paper.
+
+   Usage:
+     repro all [--quick]          every experiment in paper order
+     repro fig2 [--quick]         one experiment
+     repro list                   show available experiments
+     repro custom ...             a custom single run (scheme/app/params)
+*)
+
+open Cmdliner
+open Cm_experiments
+
+let quick_arg =
+  let doc = "Run with reduced horizons and fewer sweep points (for smoke tests)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let experiment_cmd entry =
+  let doc = entry.Registry.title in
+  Cmd.v
+    (Cmd.info entry.Registry.id ~doc)
+    Term.(const (fun quick -> entry.Registry.run ~quick ()) $ quick_arg)
+
+let all_cmd =
+  let doc = "Run every table and figure in paper order." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const (fun quick -> Registry.run_all ~quick ()) $ quick_arg)
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let list () =
+    List.iter (fun e -> Printf.printf "%-10s %s\n" e.Registry.id e.Registry.title) Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list $ const ())
+
+(* A single custom run, for exploration. *)
+let custom_cmd =
+  let scheme_arg =
+    let doc = "Scheme: sm, rpc, cp, optionally +hw and/or +repl (e.g. cp+repl+hw)." in
+    Arg.(value & opt string "cp" & info [ "scheme" ] ~doc)
+  in
+  let app_arg =
+    let doc = "Application: counting or btree." in
+    Arg.(value & opt string "btree" & info [ "app" ] ~doc)
+  in
+  let think_arg =
+    let doc = "Think time in cycles between requests." in
+    Arg.(value & opt int 0 & info [ "think" ] ~doc)
+  in
+  let requesters_arg =
+    let doc = "Number of requester threads." in
+    Arg.(value & opt int 16 & info [ "requesters" ] ~doc)
+  in
+  let horizon_arg =
+    let doc = "Simulated cycles to run." in
+    Arg.(value & opt int 400_000 & info [ "horizon" ] ~doc)
+  in
+  let fanout_arg =
+    let doc = "B-tree fanout." in
+    Arg.(value & opt int 100 & info [ "fanout" ] ~doc)
+  in
+  let detail_arg =
+    let doc = "Print a post-run machine report (utilizations, traffic by kind)." in
+    Arg.(value & flag & info [ "detail" ] ~doc)
+  in
+  let run scheme app think requesters horizon fanout detail =
+    match Scheme.of_string scheme with
+    | Error e -> `Error (false, e)
+    | Ok s ->
+      let machine, metrics =
+        match app with
+        | "counting" ->
+          Counting_run.run_with_machine s
+            { Counting_run.default with Counting_run.think; requesters; horizon }
+        | "btree" ->
+          Btree_run.run_with_machine s
+            { Btree_run.default with Btree_run.think; requesters; horizon; fanout }
+        | other -> failwith (Printf.sprintf "unknown app %S (counting|btree)" other)
+      in
+      Printf.printf "%s on %s: %s (mean op latency %.0f cycles)\n" (Scheme.name s) app
+        (Format.asprintf "%a" Cm_workload.Metrics.pp metrics)
+        metrics.Cm_workload.Metrics.mean_latency;
+      if detail then Cm_workload.Detail.print machine;
+      `Ok ()
+  in
+  let doc = "One custom run with explicit parameters." in
+  Cmd.v (Cmd.info "custom" ~doc)
+    Term.(
+      ret
+        (const run $ scheme_arg $ app_arg $ think_arg $ requesters_arg $ horizon_arg
+       $ fanout_arg $ detail_arg))
+
+let () =
+  let doc = "Reproduce the evaluation of Hsieh/Wang/Weihl, PPoPP 1993" in
+  let info = Cmd.info "repro" ~version:"1.0" ~doc in
+  let default = Term.(ret (const (fun _ -> `Help (`Pager, None)) $ const ())) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          ([ all_cmd; list_cmd; custom_cmd ] @ List.map experiment_cmd Registry.all)))

@@ -1,0 +1,1 @@
+examples/adaptive_dht.ml: Array Cm_apps Cm_core Cm_machine Costs Dht List Machine Network Printf Sysenv Thread

@@ -1,0 +1,1 @@
+examples/btree_demo.ml: Array Btree Cm_apps Cm_core Cm_engine Cm_machine Costs List Machine Printf Sysenv Thread

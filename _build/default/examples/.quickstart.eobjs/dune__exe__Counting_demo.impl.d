@@ -1,0 +1,1 @@
+examples/counting_demo.ml: Cm_apps Cm_core Cm_machine Costs Counting_network List Machine Network Printf Sysenv Thread

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cm_core Cm_machine Cm_runtime Costs Machine Network Prelude Printf Runtime Thread

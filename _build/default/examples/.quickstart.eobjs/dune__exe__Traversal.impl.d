@@ -1,0 +1,1 @@
+examples/traversal.ml: Array Cm_core Cm_machine Cm_memory Cm_runtime Costs Machine Network Prelude Printf Runtime Shmem Thread

@@ -1,0 +1,72 @@
+(* The distributed B-tree application (paper §4.2), runnable: a tree
+   preloaded with 2000 keys over 24 node processors, 8 requester threads
+   running a lookup/insert mix under every scheme, including root
+   replication for the messaging mechanisms.  Afterwards the tree's
+   structural invariants are checked and the mechanisms compared.
+
+   Run with:  dune exec examples/btree_demo.exe
+*)
+
+open Cm_machine
+open Cm_apps
+open Thread.Infix
+
+let node_procs = 24
+
+let requesters = 8
+
+let horizon = 120_000
+
+let preload = List.init 2000 (fun i -> i * 41)
+
+let run ~label ~mode ~replicate_root =
+  let machine =
+    Machine.create ~n_procs:(node_procs + requesters) ~costs:Costs.software ()
+  in
+  let env = Sysenv.make machine in
+  let tree =
+    Btree.create env ~mode ~fanout:20 ~replicate_root
+      ~node_procs:(Array.init node_procs (fun i -> i))
+      ~keys:preload ()
+  in
+  let ops = ref 0 in
+  for r = 0 to requesters - 1 do
+    Machine.spawn machine ~on:(node_procs + r)
+      (Thread.while_
+         (fun () -> Machine.now machine < horizon)
+         (let* rng = Thread.rng in
+          let key = Cm_engine.Rng.int rng 100_000 in
+          let* () =
+            if Cm_engine.Rng.bool rng then Thread.ignore_m (Btree.lookup tree key)
+            else Thread.ignore_m (Btree.insert tree key)
+          in
+          incr ops;
+          Thread.return ()))
+  done;
+  Machine.run ~until:horizon machine;
+  (* Let operations that were in flight at the horizon finish, so the
+     structural check sees a quiescent tree. *)
+  Machine.run machine;
+  let invariants = match Btree.check_invariants tree with Ok () -> "ok" | Error e -> e in
+  Printf.printf "%-22s  %5d ops  (%.2f ops/1000cyc)  height=%d splits=%-3d invariants: %s\n"
+    label !ops
+    (1000. *. float_of_int !ops /. float_of_int horizon)
+    (Btree.height tree) (Btree.splits tree) invariants
+
+let () =
+  Printf.printf
+    "A B-link tree with %d preloaded keys on %d processors; %d threads run a\n\
+     50/50 lookup/insert mix for %d cycles under each scheme.\n\n"
+    (List.length preload) node_procs requesters horizon;
+  run ~label:"RPC" ~mode:(Btree.Messaging Cm_core.Prelude.Rpc) ~replicate_root:false;
+  run ~label:"RPC + root repl." ~mode:(Btree.Messaging Cm_core.Prelude.Rpc) ~replicate_root:true;
+  run ~label:"migration" ~mode:(Btree.Messaging Cm_core.Prelude.Migrate) ~replicate_root:false;
+  run ~label:"migration + root repl."
+    ~mode:(Btree.Messaging Cm_core.Prelude.Migrate)
+    ~replicate_root:true;
+  run ~label:"shared memory" ~mode:Btree.Shared_memory ~replicate_root:false;
+  print_newline ();
+  Printf.printf
+    "Migration beats RPC (fewer messages, no reply cascades); replicating the\n\
+     root moves its load off the root's processor; shared memory rides its\n\
+     hardware caches but pays coherence traffic for every hand-off.\n"

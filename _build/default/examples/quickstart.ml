@@ -1,0 +1,58 @@
+(* Quickstart: the computation-migration annotation in five minutes.
+
+   We build a small simulated machine, put a counter object on a remote
+   processor, and have one thread increment it a few times — first with
+   the RPC annotation, then with the Migrate annotation.  The program
+   logic is identical; only the annotation changes.  Watch the message
+   counts: RPC pays two messages per access, migration pays one for the
+   first access and nothing afterwards (the thread now lives next to
+   the data).
+
+   Run with:  dune exec examples/quickstart.exe
+*)
+
+open Cm_machine
+open Cm_runtime
+open Cm_core
+open Thread.Infix
+
+let accesses = 5
+
+let demo access =
+  (* An 8-processor machine with the paper's software cost model. *)
+  let machine = Machine.create ~n_procs:8 ~costs:Costs.software () in
+  let prelude = Prelude.create machine in
+  (* A counter object living on processor 5. *)
+  let counter = Prelude.make_obj prelude ~home:5 (ref 0) in
+  let finished_at = ref 0 in
+  (* One thread on processor 0 increments it [accesses] times.  The
+     [Prelude.proc] scope makes the activation migratable: if it ends up
+     remote, its result is sent back to processor 0 in one message. *)
+  Machine.spawn machine ~on:0
+    (let* () =
+       Prelude.proc prelude
+         (Thread.repeat accesses (fun _ ->
+              Prelude.invoke prelude ~access counter (fun cell ->
+                  let* () = Thread.compute 50 in
+                  incr cell;
+                  Thread.return ())))
+     in
+     finished_at := Machine.now machine;
+     Thread.return ());
+  Machine.run machine;
+  Printf.printf "%-8s  counter=%d  messages=%-3d words=%-4d finished at cycle %d\n"
+    (Runtime.access_name access)
+    !(Prelude.obj_state counter)
+    (Network.total_messages machine.Machine.net)
+    (Network.total_words machine.Machine.net)
+    !finished_at
+
+let () =
+  Printf.printf "Incrementing a remote counter %d times under each annotation:\n\n" accesses;
+  demo Prelude.Rpc;
+  demo Prelude.Migrate;
+  print_newline ();
+  Printf.printf "RPC sends 2 messages per access (%d total); migration sends one message\n"
+    (2 * accesses);
+  Printf.printf "to reach the counter and one to carry the result home - every access\n";
+  Printf.printf "after the first is local.  Same program, one annotation changed.\n"

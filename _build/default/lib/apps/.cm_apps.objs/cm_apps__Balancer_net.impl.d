@@ -1,0 +1,1 @@
+lib/apps/balancer_net.ml: Array List

@@ -1,0 +1,1 @@
+lib/apps/btree.ml: Btree_msg Btree_node Btree_sm Cm_core Prelude

@@ -1,0 +1,1 @@
+lib/apps/btree.mli: Btree_sm Cm_core Cm_machine Sysenv Thread

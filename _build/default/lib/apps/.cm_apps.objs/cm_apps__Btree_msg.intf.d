@@ -1,0 +1,1 @@
+lib/apps/btree_msg.mli: Btree_node Cm_core Cm_machine Prelude Sysenv Thread

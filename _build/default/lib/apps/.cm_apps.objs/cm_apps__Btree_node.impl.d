@@ -1,0 +1,1 @@
+lib/apps/btree_node.ml: Array List

@@ -1,0 +1,1 @@
+lib/apps/btree_sm.ml: Array Btree_node Cm_engine Cm_machine Cm_memory Hashtbl List Lock Machine Printf Rng Rwlock Shmem Stats Sysenv Thread

@@ -1,0 +1,1 @@
+lib/apps/btree_sm.mli: Btree_node Cm_machine Sysenv Thread

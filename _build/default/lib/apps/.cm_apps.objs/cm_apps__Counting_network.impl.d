@@ -1,0 +1,1 @@
+lib/apps/counting_network.ml: Array Balancer_net Cm_core Cm_machine Cm_memory List Lock Machine Prelude Shmem Sysenv Thread

@@ -1,0 +1,1 @@
+lib/apps/counting_network.mli: Cm_core Cm_machine Sysenv Thread

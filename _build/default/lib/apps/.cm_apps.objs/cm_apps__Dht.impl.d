@@ -1,0 +1,1 @@
+lib/apps/dht.ml: Adaptive Array Cm_core Cm_machine Cm_memory Cm_runtime List Lock Prelude Runtime Shmem Sysenv Thread

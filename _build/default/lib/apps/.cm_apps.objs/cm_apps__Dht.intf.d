@@ -1,0 +1,1 @@
+lib/apps/dht.mli: Cm_core Cm_machine Sysenv Thread

@@ -1,0 +1,1 @@
+lib/apps/sysenv.ml: Cm_core Cm_machine Cm_memory Machine

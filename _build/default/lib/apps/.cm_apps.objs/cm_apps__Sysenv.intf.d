@@ -1,0 +1,1 @@
+lib/apps/sysenv.mli: Cm_core Cm_machine Cm_memory Cm_runtime Machine

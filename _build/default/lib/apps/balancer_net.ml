@@ -1,0 +1,166 @@
+type dest = Exit of int | Balancer of int
+
+(* Construction-time graph: ports linked by forwarding, resolved into the
+   flat [dest] description once the recursion is done. *)
+type target = Unset | Exit_at of int | Forward of port | Into of int
+
+and port = { mutable target : target }
+
+type t = {
+  width : int;
+  inputs : dest array;
+  outs : (dest * dest) array;  (* per balancer: top, bottom *)
+  layers : int array;  (* per balancer *)
+  depth : int;
+}
+
+let new_port () = { target = Unset }
+
+(* A balancer under construction: id plus its two output ports. *)
+type building = { next_id : int ref; tops : port list ref; bots : port list ref }
+
+let fresh_balancer b =
+  let id = !(b.next_id) in
+  incr b.next_id;
+  let top = new_port () and bot = new_port () in
+  b.tops := top :: !(b.tops);
+  b.bots := bot :: !(b.bots);
+  (id, top, bot)
+
+let connect p q = p.target <- Forward q
+
+(* Merger[w]: merges two step sequences (each of width w/2) into one.
+   AHS: for w > 2, even-indexed wires of the first half and odd-indexed
+   wires of the second half feed one Merger[w/2]; the remaining wires
+   feed the other; a final rank of w/2 balancers pairs their outputs. *)
+let rec merger b w : port array * port array =
+  if w = 2 then begin
+    let id, top, bot = fresh_balancer b in
+    ([| { target = Into id }; { target = Into id } |], [| top; bot |])
+  end
+  else begin
+    let k = w / 2 in
+    let a_in, a_out = merger b k in
+    let b_in, b_out = merger b k in
+    let inputs = Array.init w (fun _ -> new_port ()) in
+    for j = 0 to (k / 2) - 1 do
+      connect inputs.(2 * j) a_in.(j);
+      connect inputs.((2 * j) + 1) b_in.(j);
+      connect inputs.(k + (2 * j)) b_in.((k / 2) + j);
+      connect inputs.(k + (2 * j) + 1) a_in.((k / 2) + j)
+    done;
+    let outputs = Array.init w (fun _ -> new_port ()) in
+    for i = 0 to k - 1 do
+      let id, top, bot = fresh_balancer b in
+      connect a_out.(i) { target = Into id };
+      connect b_out.(i) { target = Into id };
+      outputs.(2 * i) <- top;
+      outputs.((2 * i) + 1) <- bot
+    done;
+    (inputs, outputs)
+  end
+
+let rec bitonic_build b w : port array * port array =
+  if w = 1 then begin
+    let p = new_port () in
+    ([| p |], [| p |])
+  end
+  else begin
+    let half = w / 2 in
+    let top_in, top_out = bitonic_build b half in
+    let bot_in, bot_out = bitonic_build b half in
+    let m_in, m_out = merger b w in
+    for i = 0 to half - 1 do
+      connect top_out.(i) m_in.(i);
+      connect bot_out.(i) m_in.(half + i)
+    done;
+    (Array.append top_in bot_in, m_out)
+  end
+
+let rec resolve p =
+  match p.target with
+  | Unset -> invalid_arg "Balancer_net: dangling port"
+  | Exit_at i -> Exit i
+  | Into id -> Balancer id
+  | Forward q -> resolve q
+
+let is_power_of_two w = w > 0 && w land (w - 1) = 0
+
+let bitonic width =
+  if width < 2 || not (is_power_of_two width) then
+    invalid_arg "Balancer_net.bitonic: width must be a power of two >= 2";
+  let b = { next_id = ref 0; tops = ref []; bots = ref [] } in
+  let inputs, outputs = bitonic_build b width in
+  Array.iteri (fun i p -> p.target <- Exit_at i) outputs;
+  let n = !(b.next_id) in
+  (* Lists were built in reverse creation order. *)
+  let tops = Array.of_list (List.rev !(b.tops)) in
+  let bots = Array.of_list (List.rev !(b.bots)) in
+  let outs = Array.init n (fun i -> (resolve tops.(i), resolve bots.(i))) in
+  let ins = Array.map resolve inputs in
+  (* Layer = longest path from any input, computed by relaxation. *)
+  let layers = Array.make n 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let bump = function
+        | Balancer j ->
+          if layers.(j) < layers.(i) + 1 then begin
+            layers.(j) <- layers.(i) + 1;
+            changed := true
+          end
+        | Exit _ -> ()
+      in
+      let top, bot = outs.(i) in
+      bump top;
+      bump bot
+    done
+  done;
+  let depth = 1 + Array.fold_left max 0 layers in
+  { width; inputs = ins; outs; layers; depth }
+
+let width t = t.width
+
+let n_balancers t = Array.length t.outs
+
+let depth t = t.depth
+
+let layer t b = t.layers.(b)
+
+let input t w = t.inputs.(w)
+
+let outputs t b = t.outs.(b)
+
+let feeder_of_exit t w =
+  let found = ref (-1) in
+  Array.iteri
+    (fun b (top, bot) ->
+      if top = Exit w || bot = Exit w then found := b)
+    t.outs;
+  if !found < 0 then invalid_arg "Balancer_net.feeder_of_exit: no such exit";
+  !found
+
+type sim = { net : t; toggles : bool array }
+
+let simulator net = { net; toggles = Array.make (n_balancers net) false }
+
+let route s wire =
+  let rec go = function
+    | Exit w -> w
+    | Balancer b ->
+      let up = not s.toggles.(b) in
+      s.toggles.(b) <- up;
+      let top, bot = s.net.outs.(b) in
+      go (if up then top else bot)
+  in
+  go s.net.inputs.(wire)
+
+let step_property ~counts =
+  let w = Array.length counts in
+  let k = Array.fold_left ( + ) 0 counts in
+  let ok = ref true in
+  for i = 0 to w - 1 do
+    if counts.(i) <> (k - i + w - 1) / w then ok := false
+  done;
+  !ok

@@ -1,0 +1,62 @@
+(** Pure construction of bitonic counting networks.
+
+    A balancing network is a wiring of 2×2 balancers; a {e counting}
+    network additionally satisfies the step property on its output wires:
+    after any set of tokens has traversed the (quiescent) network, output
+    wire [i] has seen [ceil ((k - i) / w)] of the [k] tokens.  Bitonic[w]
+    (Aspnes, Herlihy, Shavit 1991) is built recursively from two
+    Bitonic[w/2] networks feeding a Merger[w]; for [w = 8] it has 6
+    layers of 4 balancers — the paper's "eight-by-eight counting network
+    ... essentially a six-stage pipeline; each stage has four balancers".
+
+    This module builds the wiring as a static description (used by every
+    execution mode of {!Counting_network}) and provides a sequential
+    reference simulator for validating the step property in tests. *)
+
+type dest =
+  | Exit of int  (** leave the network on output wire [i] *)
+  | Balancer of int  (** proceed to balancer [i] *)
+
+type t
+
+val bitonic : int -> t
+(** [bitonic w] is the Bitonic[w] counting network.  [w] must be a power
+    of two, at least 2. *)
+
+val width : t -> int
+(** Number of input/output wires. *)
+
+val n_balancers : t -> int
+(** Total balancer count ([w/2 * depth]). *)
+
+val depth : t -> int
+(** Number of layers (6 for width 8). *)
+
+val layer : t -> int -> int
+(** [layer t b] is the layer index of balancer [b] (0-based from the
+    inputs). *)
+
+val input : t -> int -> dest
+(** [input t w] is where a token entering on input wire [w] goes first. *)
+
+val outputs : t -> int -> dest * dest
+(** [outputs t b] is balancer [b]'s (top, bottom) destinations. *)
+
+val feeder_of_exit : t -> int -> int
+(** [feeder_of_exit t w] is the balancer whose output is exit wire [w]. *)
+
+(** {1 Reference simulator} *)
+
+type sim
+
+val simulator : t -> sim
+(** A fresh all-toggles-up sequential simulator of the network. *)
+
+val route : sim -> int -> int
+(** [route s wire] runs one token from input [wire] to its exit wire,
+    flipping toggles on the way. *)
+
+val step_property : counts:int array -> bool
+(** [step_property ~counts] checks the step property: sum [k] of the
+    per-output-wire token [counts] satisfies
+    [counts.(i) = ceil ((k - i) / w)] for every wire. *)

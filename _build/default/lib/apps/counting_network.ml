@@ -1,0 +1,187 @@
+open Cm_machine
+open Cm_memory
+open Cm_core
+open Thread.Infix
+
+type sm_sync = Atomic_toggle | Lock_per_balancer
+
+type mode = Messaging of Prelude.access | Shared_memory
+
+let mode_name = function
+  | Messaging Prelude.Rpc -> "rpc"
+  | Messaging Prelude.Migrate -> "migrate"
+  | Shared_memory -> "shared_memory"
+
+(* Cycles of user code per balancer/counter visit under the messaging
+   runtime — the "User code" row of the paper's Table 5. *)
+let user_work = 150
+
+(* CPU work per visit in shared-memory mode: toggle-and-route only; the
+   messaging overheads do not exist, memory stalls dominate instead. *)
+let sm_work = 30
+
+(* Messaging-mode object states.  Destinations use the static network
+   description; objects are looked up through the arrays in [repr]. *)
+type bal = { mutable toggle : bool; top : Balancer_net.dest; bot : Balancer_net.dest }
+
+type cnt = { mutable count : int; wire : int }
+
+type repr =
+  | Msg of { bals : bal Prelude.obj array; cnts : cnt Prelude.obj array; access : Prelude.access }
+  | Sm of {
+      bal_addr : int array;
+      locks : Lock.t array;
+      cnt_addr : int array;
+      sync : sm_sync;
+    }
+
+type t = {
+  env : Sysenv.t;
+  net : Balancer_net.t;
+  mode : mode;
+  repr : repr;
+  mutable issued_rev : int list;  (* instrumentation: every value handed out *)
+}
+
+(* Shared-memory destination encoding: balancer ids are >= 0; exit wire
+   [w] is encoded as [-(w + 1)]. *)
+let encode = function Balancer_net.Balancer b -> b | Balancer_net.Exit w -> -(w + 1)
+
+let decode n = if n >= 0 then Balancer_net.Balancer n else Balancer_net.Exit (-n - 1)
+
+let create env ?(width = 8) ?(sm_sync = Lock_per_balancer) ?(lock_backoff = (512, 4096))
+    ?balancer_procs mode =
+  let net = Balancer_net.bitonic width in
+  let n = Balancer_net.n_balancers net in
+  let n_procs = Machine.n_procs env.Sysenv.machine in
+  let procs =
+    match balancer_procs with
+    | Some a ->
+      if Array.length a <> n then invalid_arg "Counting_network.create: placement size mismatch";
+      a
+    | None -> Array.init n (fun i -> i mod n_procs)
+  in
+  let counter_proc w = procs.(Balancer_net.feeder_of_exit net w) in
+  let repr =
+    match mode with
+    | Messaging access ->
+      let bals =
+        Array.init n (fun b ->
+            let top, bot = Balancer_net.outputs net b in
+            Prelude.make_obj env.Sysenv.prelude ~home:procs.(b) { toggle = false; top; bot })
+      in
+      let cnts =
+        Array.init width (fun w ->
+            Prelude.make_obj env.Sysenv.prelude ~home:(counter_proc w) { count = 0; wire = w })
+      in
+      Msg { bals; cnts; access }
+    | Shared_memory ->
+      let mem = env.Sysenv.mem in
+      let bal_addr =
+        Array.init n (fun b ->
+            let top, bot = Balancer_net.outputs net b in
+            let a = Shmem.alloc mem ~home:procs.(b) ~words:3 in
+            Shmem.poke mem a 0;
+            Shmem.poke mem (a + 1) (encode top);
+            Shmem.poke mem (a + 2) (encode bot);
+            a)
+      in
+      (* Balancer locks are extremely contended; probe rarely by
+         default ([lock_backoff] is an ablation knob). *)
+      let base_backoff, max_backoff = lock_backoff in
+      let locks =
+        Array.init n (fun b -> Lock.create ~base_backoff ~max_backoff mem ~home:procs.(b))
+      in
+      let cnt_addr = Array.init width (fun w -> Shmem.alloc mem ~home:(counter_proc w) ~words:1) in
+      Sm { bal_addr; locks; cnt_addr; sync = sm_sync }
+  in
+  { env; net; mode; repr; issued_rev = [] }
+
+let width t = Balancer_net.width t.net
+
+let n_balancers t = Balancer_net.n_balancers t.net
+
+let mode t = t.mode
+
+let record t v = t.issued_rev <- v :: t.issued_rev
+
+let traverse_msg t ~bals ~cnts ~access ~input_wire =
+  let prelude = t.env.Sysenv.prelude in
+  let w = width t in
+  Prelude.proc prelude
+    (let rec go dest =
+       match dest with
+       | Balancer_net.Balancer b ->
+         let* next =
+           Prelude.invoke prelude ~access bals.(b) (fun st ->
+               let* () = Thread.compute user_work in
+               let out = if st.toggle then st.bot else st.top in
+               st.toggle <- not st.toggle;
+               Thread.return out)
+         in
+         go next
+       | Balancer_net.Exit wire ->
+         Prelude.invoke prelude ~access cnts.(wire) (fun st ->
+             let* () = Thread.compute user_work in
+             let count = st.count in
+             st.count <- st.count + 1;
+             let value = (count * w) + st.wire in
+             record t value;
+             Thread.return value)
+     in
+     go (Balancer_net.input t.net input_wire))
+
+let traverse_sm t ~bal_addr ~locks ~cnt_addr ~sync ~input_wire =
+  let mem = t.env.Sysenv.mem in
+  let w = width t in
+  let rec go dest =
+    match dest with
+    | Balancer_net.Balancer b ->
+      let base = bal_addr.(b) in
+      let* toggle =
+        match sync with
+        | Atomic_toggle ->
+          (* The balancer is a 2-state switch: one atomic
+             fetch-and-toggle transfers line ownership and flips it. *)
+          Shmem.rmw mem base (fun v -> 1 - v)
+        | Lock_per_balancer ->
+          (* Ablation: a spin-lock-protected critical section, showing
+             the coherence storms test-and-test&set causes on
+             write-shared data. *)
+          let* () = Lock.acquire locks.(b) in
+          let* toggle = Shmem.read mem base in
+          let* () = Shmem.write mem base (1 - toggle) in
+          let* () = Lock.release locks.(b) in
+          Thread.return toggle
+      in
+      (* The destination words share the balancer's (now owned) line. *)
+      let* next = Shmem.read mem (base + if toggle = 0 then 1 else 2) in
+      let* () = Thread.compute sm_work in
+      go (decode next)
+    | Balancer_net.Exit wire ->
+      let* count = Shmem.rmw mem cnt_addr.(wire) (fun v -> v + 1) in
+      let* () = Thread.compute sm_work in
+      let value = (count * w) + wire in
+      record t value;
+      Thread.return value
+  in
+  go (Balancer_net.input t.net input_wire)
+
+let traverse t ~input_wire =
+  if input_wire < 0 || input_wire >= width t then
+    invalid_arg "Counting_network.traverse: bad input wire";
+  match t.repr with
+  | Msg { bals; cnts; access } -> traverse_msg t ~bals ~cnts ~access ~input_wire
+  | Sm { bal_addr; locks; cnt_addr; sync } ->
+    traverse_sm t ~bal_addr ~locks ~cnt_addr ~sync ~input_wire
+
+let output_counts t =
+  match t.repr with
+  | Msg { cnts; _ } -> Array.map (fun o -> (Prelude.obj_state o).count) cnts
+  | Sm { cnt_addr; _ } -> Array.map (fun a -> Shmem.peek t.env.Sysenv.mem a) cnt_addr
+
+let tokens_delivered t = Array.fold_left ( + ) 0 (output_counts t)
+
+let satisfies_step_property t = Balancer_net.step_property ~counts:(output_counts t)
+
+let values_issued t = List.rev t.issued_rev

@@ -1,0 +1,263 @@
+open Cm_machine
+open Cm_memory
+open Cm_runtime
+open Cm_core
+open Thread.Infix
+
+type mode = Messaging of Prelude.access | Adaptive | Shared_memory
+
+let mode_name = function
+  | Messaging Prelude.Rpc -> "rpc"
+  | Messaging Prelude.Migrate -> "migrate"
+  | Adaptive -> "adaptive"
+  | Shared_memory -> "shared_memory"
+
+(* CPU cost of searching/updating a bucket of [n] entries. *)
+let bucket_work n = 40 + (6 * n)
+
+(* Messaging-mode bucket state. *)
+type bucket = { mutable entries : (int * int) list }
+
+type repr =
+  | Msg of {
+      rt : Runtime.t;
+      access : Prelude.access;
+      objs : bucket Prelude.obj array;
+    }
+  | Adapt of {
+      ad : Adaptive.t;
+      objs : bucket Prelude.obj array;
+      get_site : Adaptive.site;
+      put_site : Adaptive.site;
+      scan_site : Adaptive.site;
+    }
+  | Sm of { mem : Shmem.t; bases : Shmem.addr array; locks : Lock.t array; capacity : int }
+
+type t = { env : Sysenv.t; buckets : int; capacity : int; repr : repr }
+
+(* SM bucket layout: word 0 = entry count, then (key, value) pairs. *)
+let off_count = 0
+
+let off_pairs = 1
+
+let create env ?(buckets = 64) ?(bucket_capacity = 64) ~mode ~node_procs () =
+  if buckets <= 0 then invalid_arg "Dht.create: buckets must be positive";
+  if Array.length node_procs = 0 then invalid_arg "Dht.create: no node processors";
+  let home i = node_procs.(i mod Array.length node_procs) in
+  let repr =
+    match mode with
+    | Messaging access ->
+      Msg
+        {
+          rt = Sysenv.runtime env;
+          access;
+          objs =
+            Array.init buckets (fun i ->
+                Prelude.make_obj env.Sysenv.prelude ~home:(home i) { entries = [] });
+        }
+    | Adaptive ->
+      let ad = Adaptive.create (Sysenv.runtime env) ~explore:6 () in
+      Adapt
+        {
+          ad;
+          objs =
+            Array.init buckets (fun i ->
+                Prelude.make_obj env.Sysenv.prelude ~home:(home i) { entries = [] });
+          get_site = Adaptive.site ad ~name:"dht.get";
+          put_site = Adaptive.site ad ~name:"dht.put";
+          scan_site = Adaptive.site ad ~name:"dht.range_sum";
+        }
+    | Shared_memory ->
+      let mem = env.Sysenv.mem in
+      Sm
+        {
+          mem;
+          bases =
+            Array.init buckets (fun i ->
+                Shmem.alloc mem ~home:(home i) ~words:(off_pairs + (2 * bucket_capacity)));
+          locks = Array.init buckets (fun i -> Lock.create mem ~home:(home i));
+          capacity = bucket_capacity;
+        }
+  in
+  { env; buckets; capacity = bucket_capacity; repr }
+
+let n_buckets t = t.buckets
+
+let bucket_of_key t key = abs (key * 2654435761) mod t.buckets
+
+(* ------------------------------------------------------------------ *)
+(* Messaging bodies (run at the bucket's home)                        *)
+(* ------------------------------------------------------------------ *)
+
+let method_get key (b : bucket) =
+  let* () = Thread.compute (bucket_work (List.length b.entries)) in
+  Thread.return (List.assoc_opt key b.entries)
+
+let method_put t key value (b : bucket) =
+  let* () = Thread.compute (bucket_work (List.length b.entries)) in
+  if List.mem_assoc key b.entries then begin
+    b.entries <- (key, value) :: List.remove_assoc key b.entries;
+    Thread.return ()
+  end
+  else if List.length b.entries >= t.capacity then failwith "Dht.put: bucket full"
+  else begin
+    b.entries <- (key, value) :: b.entries;
+    Thread.return ()
+  end
+
+let method_sum (b : bucket) =
+  let* () = Thread.compute (bucket_work (List.length b.entries)) in
+  Thread.return (List.fold_left (fun acc (_, v) -> acc + v) 0 b.entries)
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let obj_home objs i = Prelude.obj_home objs.(i)
+
+let msg_call rt ~access objs i body =
+  Runtime.scope rt ~result_words:2
+    (Runtime.call rt ~access ~home:(obj_home objs i) ~args_words:8 ~result_words:2
+       (body (Prelude.obj_state objs.(i))))
+
+let adapt_call ad ~site objs i body =
+  Adaptive.scope ad
+    (Adaptive.call ad ~site ~home:(obj_home objs i) ~args_words:8 ~result_words:2
+       (body (Prelude.obj_state objs.(i))))
+
+(* Shared-memory bucket search: scan the pair area under the bucket
+   lock, reading every key it passes. *)
+let sm_find mem base ~count ~key =
+  let rec go i =
+    if i >= count then Thread.return None
+    else
+      let* k = Shmem.read mem (base + off_pairs + (2 * i)) in
+      if k = key then Thread.return (Some i) else go (i + 1)
+  in
+  go 0
+
+let sm_get mem locks bases t key =
+  let i = bucket_of_key t key in
+  let base = bases.(i) in
+  Lock.with_lock locks.(i) (fun () ->
+      let* count = Shmem.read mem (base + off_count) in
+      let* slot = sm_find mem base ~count ~key in
+      let* () = Thread.compute (bucket_work count) in
+      match slot with
+      | None -> Thread.return None
+      | Some s ->
+        let* v = Shmem.read mem (base + off_pairs + (2 * s) + 1) in
+        Thread.return (Some v))
+
+let sm_put mem locks bases capacity t ~key ~value =
+  let i = bucket_of_key t key in
+  let base = bases.(i) in
+  Lock.with_lock locks.(i) (fun () ->
+      let* count = Shmem.read mem (base + off_count) in
+      let* slot = sm_find mem base ~count ~key in
+      let* () = Thread.compute (bucket_work count) in
+      match slot with
+      | Some s -> Shmem.write mem (base + off_pairs + (2 * s) + 1) value
+      | None ->
+        if count >= capacity then failwith "Dht.put: bucket full"
+        else
+          let* () = Shmem.write mem (base + off_pairs + (2 * count)) key in
+          let* () = Shmem.write mem (base + off_pairs + (2 * count) + 1) value in
+          Shmem.write mem (base + off_count) (count + 1))
+
+let sm_sum_bucket mem locks bases i =
+  let base = bases.(i) in
+  Lock.with_lock locks.(i) (fun () ->
+      let* count = Shmem.read mem (base + off_count) in
+      let* () = Thread.compute (bucket_work count) in
+      let rec go s acc =
+        if s >= count then Thread.return acc
+        else
+          let* v = Shmem.read mem (base + off_pairs + (2 * s) + 1) in
+          go (s + 1) (acc + v)
+      in
+      go 0 0)
+
+let get t key =
+  match t.repr with
+  | Msg { rt; access; objs } -> msg_call rt ~access objs (bucket_of_key t key) (method_get key)
+  | Adapt { ad; objs; get_site; _ } ->
+    adapt_call ad ~site:get_site objs (bucket_of_key t key) (method_get key)
+  | Sm { mem; bases; locks; _ } -> sm_get mem locks bases t key
+
+let put t ~key ~value =
+  match t.repr with
+  | Msg { rt; access; objs } ->
+    msg_call rt ~access objs (bucket_of_key t key) (method_put t key value)
+  | Adapt { ad; objs; put_site; _ } ->
+    adapt_call ad ~site:put_site objs (bucket_of_key t key) (method_put t key value)
+  | Sm { mem; bases; locks; capacity } -> sm_put mem locks bases capacity t ~key ~value
+
+let range_sum t ~first_bucket ~n_buckets =
+  if n_buckets <= 0 then invalid_arg "Dht.range_sum: empty range";
+  let bucket_at j = (first_bucket + j) mod t.buckets in
+  match t.repr with
+  | Msg { rt; access; objs } ->
+    Runtime.scope rt ~result_words:2
+      (let rec go j acc =
+         if j >= n_buckets then Thread.return acc
+         else
+           let i = bucket_at j in
+           let* s =
+             Runtime.call rt ~access ~home:(obj_home objs i) ~args_words:8 ~result_words:2
+               (method_sum (Prelude.obj_state objs.(i)))
+           in
+           go (j + 1) (acc + s)
+       in
+       go 0 0)
+  | Adapt { ad; objs; scan_site; _ } ->
+    Adaptive.scope ad
+      (let rec go j acc =
+         if j >= n_buckets then Thread.return acc
+         else
+           let i = bucket_at j in
+           let* s =
+             Adaptive.call ad ~site:scan_site ~home:(obj_home objs i) ~args_words:8
+               ~result_words:2
+               (method_sum (Prelude.obj_state objs.(i)))
+           in
+           go (j + 1) (acc + s)
+       in
+       go 0 0)
+  | Sm { mem; bases; locks; _ } ->
+    let rec go j acc =
+      if j >= n_buckets then Thread.return acc
+      else
+        let* s = sm_sum_bucket mem locks bases (bucket_at j) in
+        go (j + 1) (acc + s)
+    in
+    go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* Inspection (not simulated)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contents t =
+  let pairs =
+    match t.repr with
+    | Msg { objs; _ } | Adapt { objs; _ } ->
+      Array.to_list objs |> List.concat_map (fun o -> (Prelude.obj_state o).entries)
+    | Sm { mem; bases; _ } ->
+      Array.to_list bases
+      |> List.concat_map (fun base ->
+             let count = Shmem.peek mem (base + off_count) in
+             List.init count (fun s ->
+                 ( Shmem.peek mem (base + off_pairs + (2 * s)),
+                   Shmem.peek mem (base + off_pairs + (2 * s) + 1) )))
+  in
+  List.sort compare pairs
+
+let size t = List.length (contents t)
+
+let adaptive_report t =
+  match t.repr with
+  | Adapt { ad; get_site; put_site; scan_site; _ } ->
+    List.map
+      (fun s -> (Adaptive.site_name s, Adaptive.site_estimate ad s, Adaptive.site_samples ad s))
+      [ get_site; put_site; scan_site ]
+  | Msg _ | Sm _ -> []

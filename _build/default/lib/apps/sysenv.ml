@@ -1,0 +1,16 @@
+open Cm_machine
+
+type t = {
+  machine : Machine.t;
+  prelude : Cm_core.Prelude.t;
+  mem : Cm_memory.Shmem.t;
+}
+
+let make ?shmem_config machine =
+  {
+    machine;
+    prelude = Cm_core.Prelude.create machine;
+    mem = Cm_memory.Shmem.create ?config:shmem_config machine;
+  }
+
+let runtime t = Cm_core.Prelude.runtime t.prelude

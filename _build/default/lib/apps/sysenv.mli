@@ -1,0 +1,22 @@
+(** The full simulated system an application runs on.
+
+    Bundles the machine with both remote-access substrates: the
+    message-passing runtime (for RPC and computation migration) and
+    coherent shared memory (for the data-migration baseline).  Every
+    application mode draws from the same machine, so throughput and
+    bandwidth of the three mechanisms are measured on identical
+    hardware. *)
+
+open Cm_machine
+
+type t = {
+  machine : Machine.t;
+  prelude : Cm_core.Prelude.t;
+  mem : Cm_memory.Shmem.t;
+}
+
+val make : ?shmem_config:Cm_memory.Shmem.config -> Machine.t -> t
+(** [make machine] attaches both substrates to [machine]. *)
+
+val runtime : t -> Cm_runtime.Runtime.t
+(** The message-passing runtime underlying [prelude]. *)

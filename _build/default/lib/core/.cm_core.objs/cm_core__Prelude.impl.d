@@ -1,0 +1,1 @@
+lib/core/prelude.ml: Cm_machine Cm_runtime Machine Processor Runtime Thread

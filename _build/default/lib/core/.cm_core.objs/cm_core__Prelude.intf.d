@@ -1,0 +1,1 @@
+lib/core/prelude.mli: Cm_machine Cm_runtime Machine Runtime Thread

@@ -1,0 +1,40 @@
+open Cm_machine
+open Cm_runtime
+open Thread.Infix
+
+type t = { rt : Runtime.t }
+
+type access = Runtime.access = Rpc | Migrate
+
+let create machine = { rt = Runtime.create machine }
+
+let runtime t = t.rt
+
+let machine t = Runtime.machine t.rt
+
+type 'state obj = { home : int; state : 'state }
+
+let make_obj t ~home state =
+  if home < 0 || home >= Machine.n_procs (machine t) then
+    invalid_arg "Prelude.make_obj: bad home processor";
+  { home; state }
+
+let obj_home o = o.home
+
+let obj_state o = o.state
+
+let default_args_words = 8
+
+let default_result_words = 2
+
+let invoke t ~access ?(args_words = default_args_words) ?(result_words = default_result_words) o
+    m =
+  Runtime.call t.rt ~access ~home:o.home ~args_words ~result_words
+    (let* p = Thread.proc in
+     (* Instance methods always execute at the invoked object (Prelude's
+        calling convention); the runtime guarantees this. *)
+     assert (Processor.id p = o.home);
+     m o.state)
+
+let proc t ?at_base ?(result_words = default_result_words) body =
+  Runtime.scope t.rt ?at_base ~result_words body

@@ -1,0 +1,85 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let initial_capacity = 16
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h x =
+  if Array.length h.data = 0 then h.data <- Array.make initial_capacity x
+  else begin
+    let data = Array.make (2 * Array.length h.data) x in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+(* Restore the heap property upward from index [i]. *)
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+(* Restore the heap property downward from index [i]. *)
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < h.size && h.cmp h.data.(left) h.data.(i) < 0 then left else i in
+  let smallest =
+    if right < h.size && h.cmp h.data.(right) h.data.(smallest) < 0 then right else smallest
+  in
+  if smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(smallest);
+    h.data.(smallest) <- tmp;
+    sift_down h smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let min = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some min
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f h.data.(i)
+  done
+
+let to_sorted_list h =
+  let rec drain acc = match pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  drain []

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator (SplitMix64).  Every stochastic
+    choice in the simulator draws from an explicitly seeded [Rng.t], so a
+    whole experiment is a pure function of its configuration — reruns are
+    bit-for-bit identical, which the regression tests rely on. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each simulated thread its own stream so that adding a
+    consumer does not perturb the draws seen by others. *)
+
+val int64 : t -> int64
+(** [int64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher-Yates). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly chosen element of [a].  [a] must be
+    non-empty. *)

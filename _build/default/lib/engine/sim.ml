@@ -1,0 +1,56 @@
+type event = { time : int; seq : int; action : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  mutable next_seq : int;
+  mutable fired : int;
+  queue : event Heap.t;
+}
+
+exception Stop
+
+let compare_event a b = if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+
+let create () = { clock = 0; next_seq = 0; fired = 0; queue = Heap.create ~cmp:compare_event }
+
+let now t = t.clock
+
+let at t time action =
+  if time < t.clock then
+    invalid_arg (Printf.sprintf "Sim.at: time %d is before now (%d)" time t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time; seq; action }
+
+let after t delay =
+  if delay < 0 then invalid_arg "Sim.after: negative delay";
+  at t (t.clock + delay)
+
+let pending t = Heap.length t.queue
+
+let fire t e =
+  t.clock <- e.time;
+  t.fired <- t.fired + 1;
+  e.action ()
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some e ->
+    fire t e;
+    true
+
+let run ?until t =
+  let horizon = match until with Some h -> h | None -> max_int in
+  let rec loop () =
+    match Heap.peek t.queue with
+    | None -> ()
+    | Some e when e.time > horizon -> t.clock <- horizon
+    | Some _ ->
+      let e = Heap.pop_exn t.queue in
+      fire t e;
+      loop ()
+  in
+  try loop () with Stop -> ()
+
+let events_fired t = t.fired

@@ -1,0 +1,42 @@
+(** Discrete-event simulation core.
+
+    A simulator owns a virtual clock (integer cycles) and a queue of pending
+    events.  Events scheduled for the same cycle fire in scheduling order,
+    making every run deterministic.  The clock only advances when the next
+    event is strictly later than the current time — there is no real-time
+    component. *)
+
+type t
+(** A simulator instance. *)
+
+val create : unit -> t
+(** [create ()] is a fresh simulator with the clock at cycle 0 and no
+    pending events. *)
+
+val now : t -> int
+(** [now t] is the current cycle. *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** [at t time f] schedules [f] to run at absolute cycle [time].  Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t delay f] schedules [f] to run [delay >= 0] cycles from now. *)
+
+val pending : t -> int
+(** [pending t] is the number of events not yet fired. *)
+
+exception Stop
+(** Raised by an event handler to end the run immediately (the remaining
+    events stay queued but are not fired). *)
+
+val run : ?until:int -> t -> unit
+(** [run ?until t] fires events in order until the queue is empty, a
+    handler raises {!Stop}, or the next event is later than [until].  When
+    stopping because of [until], the clock is left at [until]. *)
+
+val step : t -> bool
+(** [step t] fires exactly one event; [false] if the queue was empty. *)
+
+val events_fired : t -> int
+(** [events_fired t] is the total number of events executed so far. *)

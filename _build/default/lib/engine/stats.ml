@@ -1,0 +1,79 @@
+type summary = { count : int; sum : float; min : float; max : float }
+
+type dist = { mutable d_count : int; mutable d_sum : float; mutable d_min : float; mutable d_max : float }
+
+type t = { counters : (string, int ref) Hashtbl.t; dists : (string, dist) Hashtbl.t }
+
+let create () = { counters = Hashtbl.create 64; dists = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+
+let add t name n =
+  let r = counter_ref t name in
+  r := !r + n
+
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let dist_ref t name =
+  match Hashtbl.find_opt t.dists name with
+  | Some d -> d
+  | None ->
+    let d = { d_count = 0; d_sum = 0.; d_min = infinity; d_max = neg_infinity } in
+    Hashtbl.add t.dists name d;
+    d
+
+let observe t name v =
+  let d = dist_ref t name in
+  d.d_count <- d.d_count + 1;
+  d.d_sum <- d.d_sum +. v;
+  if v < d.d_min then d.d_min <- v;
+  if v > d.d_max then d.d_max <- v
+
+let summary_of_dist d = { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max }
+
+let summary t name =
+  match Hashtbl.find_opt t.dists name with
+  | Some d -> summary_of_dist d
+  | None -> { count = 0; sum = 0.; min = infinity; max = neg_infinity }
+
+let mean t name =
+  let s = summary t name in
+  if s.count = 0 then nan else s.sum /. float_of_int s.count
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let distributions t =
+  Hashtbl.fold (fun name d acc -> (name, summary_of_dist d) :: acc) t.dists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~dst src =
+  Hashtbl.iter (fun name r -> add dst name !r) src.counters;
+  Hashtbl.iter
+    (fun name d ->
+      let target = dist_ref dst name in
+      target.d_count <- target.d_count + d.d_count;
+      target.d_sum <- target.d_sum +. d.d_sum;
+      if d.d_min < target.d_min then target.d_min <- d.d_min;
+      if d.d_max > target.d_max then target.d_max <- d.d_max)
+    src.dists
+
+let pp ppf t =
+  let pp_counter ppf (name, v) = Format.fprintf ppf "%s = %d" name v in
+  let pp_dist ppf (name, s) =
+    Format.fprintf ppf "%s: n=%d sum=%g min=%g max=%g" name s.count s.sum s.min s.max
+  in
+  Format.fprintf ppf "@[<v>%a@,%a@]"
+    (Format.pp_print_list pp_counter)
+    (counters t)
+    (Format.pp_print_list pp_dist)
+    (distributions t)

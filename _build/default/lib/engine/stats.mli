@@ -1,0 +1,62 @@
+(** Measurement counters for a simulation run.
+
+    A [Stats.t] is a registry of named counters and value distributions.
+    Experiments create one registry per run; subsystems record into it and
+    the harness reads it out at the end.  Counters are plain integers
+    (message counts, words sent, cache hits); distributions additionally
+    track min/max/mean for quantities like queue residence times. *)
+
+type t
+(** A registry of counters and distributions. *)
+
+val create : unit -> t
+(** [create ()] is an empty registry. *)
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+(** [incr t name] adds 1 to counter [name], creating it at 0 if absent. *)
+
+val add : t -> string -> int -> unit
+(** [add t name n] adds [n] to counter [name], creating it if absent. *)
+
+val get : t -> string -> int
+(** [get t name] is the current value of counter [name], or 0 if it was
+    never written. *)
+
+(** {1 Distributions} *)
+
+val observe : t -> string -> float -> unit
+(** [observe t name v] records one sample [v] into distribution [name]. *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when [count = 0] *)
+  max : float;  (** [neg_infinity] when [count = 0] *)
+}
+(** Summary of a distribution's samples. *)
+
+val summary : t -> string -> summary
+(** [summary t name] is the current summary of distribution [name]; an
+    all-zero summary if it was never written. *)
+
+val mean : t -> string -> float
+(** [mean t name] is [sum /. count] for distribution [name], or [nan] when
+    no sample was recorded. *)
+
+(** {1 Inspection} *)
+
+val counters : t -> (string * int) list
+(** [counters t] is every counter with its value, sorted by name. *)
+
+val distributions : t -> (string * summary) list
+(** [distributions t] is every distribution with its summary, sorted by
+    name. *)
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds every counter and distribution of [src] into
+    [dst]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp ppf t] prints a human-readable dump of the registry. *)

@@ -1,0 +1,22 @@
+type level = Quiet | Events | Debug
+
+let current = ref Quiet
+
+let set_level l = current := l
+
+let level () = !current
+
+let rank = function Quiet -> 0 | Events -> 1 | Debug -> 2
+
+let enabled l = rank l <= rank !current && !current <> Quiet
+
+let emit l msg = if enabled l then prerr_endline (msg ())
+
+let eventf ?time fmt =
+  let k message =
+    if enabled Events then
+      match time with
+      | Some t -> Printf.eprintf "[%8d] %s\n%!" t message
+      | None -> Printf.eprintf "%s\n%!" message
+  in
+  Format.kasprintf k fmt

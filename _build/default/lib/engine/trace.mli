@@ -1,0 +1,24 @@
+(** Lightweight, zero-cost-when-off simulation tracing.
+
+    Subsystems call [Trace.emit] with a lazily-built message; when tracing
+    is disabled (the default) the closure is never run.  Intended for
+    debugging small scenarios — experiment runs leave tracing off. *)
+
+type level = Quiet | Events | Debug
+
+val set_level : level -> unit
+(** [set_level l] selects how much is printed ([Quiet] prints nothing). *)
+
+val level : unit -> level
+(** [level ()] is the current level. *)
+
+val enabled : level -> bool
+(** [enabled l] is true when messages at level [l] would be printed. *)
+
+val emit : level -> (unit -> string) -> unit
+(** [emit l msg] prints [msg ()] on stderr when [l] is enabled. *)
+
+val eventf : ?time:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [eventf ?time fmt ...] formats and prints at level [Events], prefixed
+    with [time] when given.  The format arguments are still evaluated when
+    tracing is off, so prefer {!emit} on hot paths. *)

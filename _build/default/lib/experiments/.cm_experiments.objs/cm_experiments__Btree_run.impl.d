@@ -1,0 +1,1 @@
+lib/experiments/btree_run.ml: Array Btree Cm_apps Cm_engine Cm_machine Cm_workload Hashtbl Machine Rng Scheme Sysenv Thread

@@ -1,0 +1,1 @@
+lib/experiments/btree_run.mli: Cm_machine Cm_workload Scheme

@@ -1,0 +1,1 @@
+lib/experiments/btree_tables.ml: Btree_run Cm_workload List Report Scheme

@@ -1,0 +1,1 @@
+lib/experiments/btree_tables.mli: Btree_run Cm_workload Report Scheme

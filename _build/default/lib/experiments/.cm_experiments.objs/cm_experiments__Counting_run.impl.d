@@ -1,0 +1,1 @@
+lib/experiments/counting_run.ml: Cm_apps Cm_machine Cm_workload Counting_network Machine Scheme Sysenv

@@ -1,0 +1,1 @@
+lib/experiments/counting_run.mli: Cm_machine Cm_workload Scheme

@@ -1,0 +1,1 @@
+lib/experiments/dht_bench.ml: Array Cm_apps Cm_core Cm_engine Cm_machine Cm_workload Costs Dht List Machine Printf Report Rng Sysenv Thread

@@ -1,0 +1,1 @@
+lib/experiments/dht_bench.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fanout10.ml: Btree_run Btree_tables Cm_workload List Report Scheme

@@ -1,0 +1,1 @@
+lib/experiments/fanout10.mli:

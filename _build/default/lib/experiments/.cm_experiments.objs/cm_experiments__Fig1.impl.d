@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Cm_machine Cm_memory Cm_runtime Costs List Machine Network Printf Report Runtime Thread

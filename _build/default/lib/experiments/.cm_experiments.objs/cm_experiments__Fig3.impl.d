@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Cm_workload Counting_run List Printf Report Scheme

@@ -1,0 +1,1 @@
+lib/experiments/objmig_bench.ml: Array Cm_machine Cm_runtime Costs List Machine Network Objmig Objspace Printf Report Runtime Thread

@@ -1,0 +1,1 @@
+lib/experiments/objmig_bench.mli:

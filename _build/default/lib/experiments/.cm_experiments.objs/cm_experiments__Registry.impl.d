@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Dht_bench Fanout10 Fig1 Fig2 Fig3 List Objmig_bench Table1 Table2 Table3 Table4 Table5

@@ -1,0 +1,1 @@
+lib/experiments/scheme.ml: Cm_apps Cm_core Cm_machine Costs Printf String

@@ -1,0 +1,1 @@
+lib/experiments/scheme.mli: Cm_apps Cm_machine

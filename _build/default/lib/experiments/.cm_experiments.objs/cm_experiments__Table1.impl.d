@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Btree_tables Report

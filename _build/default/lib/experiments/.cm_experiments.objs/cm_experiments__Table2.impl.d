@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Btree_tables Report

@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Cm_machine Cm_runtime Costs List Machine Printf Report Runtime Thread

@@ -1,0 +1,35 @@
+open Cm_machine
+open Cm_apps
+
+type config = { requesters : int; think : int; horizon : int; warmup : int; seed : int }
+
+let default = { requesters = 16; think = 0; horizon = 300_000; warmup = 20_000; seed = 42 }
+
+let balancer_procs = 24
+
+let run_with_machine scheme config =
+  let machine =
+    Machine.create ~seed:config.seed
+      ~n_procs:(balancer_procs + config.requesters)
+      ~costs:(Scheme.costs scheme) ()
+  in
+  let env = Sysenv.make machine in
+  let cn = Counting_network.create env (Scheme.counting_mode scheme) in
+  let request i =
+    Cm_machine.Thread.ignore_m
+      (Counting_network.traverse cn ~input_wire:(i mod Counting_network.width cn))
+  in
+  let metrics =
+    Cm_workload.Driver.run machine
+      {
+        Cm_workload.Driver.requesters = config.requesters;
+        first_proc = balancer_procs;
+        think = config.think;
+        warmup = config.warmup;
+        horizon = config.horizon;
+      }
+      request
+  in
+  (machine, metrics)
+
+let run scheme config = snd (run_with_machine scheme config)

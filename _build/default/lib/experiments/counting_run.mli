@@ -1,0 +1,23 @@
+(** Counting-network experiment runs (paper §4.1).
+
+    Layout as in the paper: the width-8 bitonic network's 24 balancers on
+    processors 0-23 (one each), requester threads on their own
+    processors above. *)
+
+type config = {
+  requesters : int;
+  think : int;
+  horizon : int;
+  warmup : int;
+  seed : int;
+}
+
+val default : config
+(** 16 requesters, zero think time, 300k-cycle horizon, 20k warmup. *)
+
+val run : Scheme.t -> config -> Cm_workload.Metrics.t
+(** Build the machine and network for the scheme and drive it. *)
+
+val run_with_machine : Scheme.t -> config -> Cm_machine.Machine.t * Cm_workload.Metrics.t
+(** Like {!run}, also returning the machine for post-run diagnostics
+    ({!Cm_workload.Detail}). *)

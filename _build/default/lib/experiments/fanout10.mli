@@ -1,0 +1,6 @@
+(** §4.2's contention-relief experiment: the fanout-10 B-tree, where
+    smaller nodes relieve the below-root bottleneck and computation
+    migration with a replicated root closes to within ~20% of shared
+    memory. *)
+
+val run : ?quick:bool -> unit -> unit

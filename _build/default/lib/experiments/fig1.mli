@@ -1,0 +1,12 @@
+(** Figure 1: the message-count model (§2.5) — simulator vs closed form. *)
+
+val run_messaging : access:Cm_runtime.Runtime.access -> n:int -> m:int -> int
+(** Messages the simulator sends for one thread making [n] accesses to
+    each of [m] remote items under the given mechanism (model: RPC
+    [2nm], migration [m+1]). *)
+
+val run_shmem : n:int -> m:int -> int
+(** The same workload over coherent shared memory (model: [2m]). *)
+
+val run : ?quick:bool -> unit -> unit
+(** Print the sweep with the closed forms alongside. *)

@@ -1,0 +1,47 @@
+(* Figure 2: counting-network throughput (requests / 1000 cycles) as a
+   function of the number of requester processes (8..64), under both
+   think times (0 and 10 000 cycles), for the five schemes the paper
+   plots: SM, CP w/HW, CP, RPC w/HW, RPC. *)
+
+let schemes =
+  [
+    Scheme.Sm;
+    Scheme.Cp { hw = true; repl = false };
+    Scheme.Cp { hw = false; repl = false };
+    Scheme.Rpc { hw = true; repl = false };
+    Scheme.Rpc { hw = false; repl = false };
+  ]
+
+let requester_counts ~quick = if quick then [ 8; 32; 64 ] else [ 8; 16; 32; 48; 64 ]
+
+let sweep ~quick ~think =
+  let horizon = if quick then 150_000 else 400_000 in
+  let xs = requester_counts ~quick in
+  List.map
+    (fun scheme ->
+      let ys =
+        List.map
+          (fun requesters ->
+            let m =
+              Counting_run.run scheme
+                { Counting_run.default with Counting_run.requesters; think; horizon }
+            in
+            m.Cm_workload.Metrics.throughput)
+          xs
+      in
+      (Scheme.name scheme, ys))
+    schemes
+
+let run ?(quick = false) () =
+  let xs = requester_counts ~quick in
+  Report.print_header "Figure 2: counting-network throughput vs number of requesters";
+  Printf.printf "\n-- think time 0 cycles (high contention) --\n";
+  Report.print_series ~x_label:"total processes" ~metric:"requests/1000 cycles" ~xs
+    (sweep ~quick ~think:0);
+  Report.print_note
+    "Paper shape: SM and CP w/HW on top and close together, then CP, RPC w/HW, RPC.";
+  Printf.printf "\n-- think time 10000 cycles (lower contention) --\n";
+  Report.print_series ~x_label:"total processes" ~metric:"requests/1000 cycles" ~xs
+    (sweep ~quick ~think:10_000);
+  Report.print_note
+    "Paper shape: curves rise with offered load; SM slightly ahead of CP w/HW; RPC lowest."

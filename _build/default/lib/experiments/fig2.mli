@@ -1,0 +1,4 @@
+(** Figure 2: counting-network throughput vs number of requesters, for
+    the paper's five schemes at both think times. *)
+
+val run : ?quick:bool -> unit -> unit

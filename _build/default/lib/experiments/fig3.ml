@@ -1,0 +1,43 @@
+(* Figure 3: counting-network bandwidth (words sent / 10 cycles) vs the
+   number of requesters, for RPC, shared memory, and computation
+   migration, at both think times. *)
+
+let schemes =
+  [
+    Scheme.Rpc { hw = false; repl = false };
+    Scheme.Sm;
+    Scheme.Cp { hw = false; repl = false };
+  ]
+
+let requester_counts ~quick = if quick then [ 8; 32; 64 ] else [ 8; 16; 32; 48; 64 ]
+
+let sweep ~quick ~think =
+  let horizon = if quick then 150_000 else 400_000 in
+  List.map
+    (fun scheme ->
+      let ys =
+        List.map
+          (fun requesters ->
+            let m =
+              Counting_run.run scheme
+                { Counting_run.default with Counting_run.requesters; think; horizon }
+            in
+            m.Cm_workload.Metrics.bandwidth)
+          (requester_counts ~quick)
+      in
+      (Scheme.name scheme, ys))
+    schemes
+
+let run ?(quick = false) () =
+  let xs = requester_counts ~quick in
+  Report.print_header "Figure 3: counting-network bandwidth vs number of requesters";
+  Printf.printf "\n-- think time 0 cycles --\n";
+  Report.print_series ~x_label:"total processes" ~metric:"words sent/10 cycles" ~xs
+    (sweep ~quick ~think:0);
+  Printf.printf "\n-- think time 10000 cycles --\n";
+  Report.print_series ~x_label:"total processes" ~metric:"words sent/10 cycles" ~xs
+    (sweep ~quick ~think:10_000);
+  Report.print_note
+    "Paper shape: computation migration always needs the least bandwidth (about half";
+  Report.print_note
+    "of RPC's); shared memory's coherence traffic dominates under high contention."

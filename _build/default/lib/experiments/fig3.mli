@@ -1,0 +1,4 @@
+(** Figure 3: counting-network bandwidth (words/10 cycles) vs number of
+    requesters, for RPC, shared memory and computation migration. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,25 @@
+type entry = { id : string; title : string; run : ?quick:bool -> unit -> unit }
+
+let all =
+  [
+    { id = "fig1"; title = "Figure 1: message-count model"; run = Fig1.run };
+    { id = "fig2"; title = "Figure 2: counting-network throughput"; run = Fig2.run };
+    { id = "fig3"; title = "Figure 3: counting-network bandwidth"; run = Fig3.run };
+    { id = "table1"; title = "Table 1: B-tree throughput (think 0)"; run = Table1.run };
+    { id = "table2"; title = "Table 2: B-tree bandwidth (think 0)"; run = Table2.run };
+    { id = "table3"; title = "Table 3: B-tree throughput (think 10000)"; run = Table3.run };
+    { id = "table4"; title = "Table 4: B-tree bandwidth (think 10000)"; run = Table4.run };
+    { id = "table5"; title = "Table 5: migration cost breakdown"; run = Table5.run };
+    { id = "fanout10"; title = "S4.2: fanout-10 B-tree"; run = Fanout10.run };
+    { id = "ablations"; title = "Ablations of the design choices"; run = Ablations.run };
+    { id = "dht"; title = "Extension: hash table across mechanisms"; run = Dht_bench.run };
+    {
+      id = "objmig";
+      title = "Extension: object migration vs computation migration";
+      run = Objmig_bench.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ?quick () = List.iter (fun e -> e.run ?quick ()) all

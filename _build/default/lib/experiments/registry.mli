@@ -1,0 +1,19 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, addressable by name for the CLI and the benchmark
+    harness. *)
+
+type entry = {
+  id : string;  (** CLI name, e.g. ["fig2"], ["table1"] *)
+  title : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+val all : entry list
+(** Every experiment, in paper order: fig1, fig2, fig3, table1-table5,
+    fanout10, plus the design-choice ablations. *)
+
+val find : string -> entry option
+(** Look an experiment up by [id]. *)
+
+val run_all : ?quick:bool -> unit -> unit
+(** Run every experiment in order. *)

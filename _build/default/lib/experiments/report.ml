@@ -1,0 +1,30 @@
+type row = { label : string; paper : float option; measured : float }
+
+let print_header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let print_table ~metric rows =
+  let width = List.fold_left (fun acc r -> max acc (String.length r.label)) 12 rows in
+  Printf.printf "%-*s  %12s  %12s  %8s\n" width "scheme" ("paper " ^ metric) "measured" "ratio";
+  List.iter
+    (fun r ->
+      match r.paper with
+      | Some p ->
+        Printf.printf "%-*s  %12.4f  %12.4f  %8.2f\n" width r.label p r.measured
+          (if p = 0. then nan else r.measured /. p)
+      | None -> Printf.printf "%-*s  %12s  %12.4f  %8s\n" width r.label "-" r.measured "-")
+    rows
+
+let print_series ~x_label ~metric ~xs curves =
+  let width = List.fold_left (fun acc (name, _) -> max acc (String.length name)) 12 curves in
+  Printf.printf "%s (%s):\n%-*s" metric x_label width "";
+  List.iter (fun x -> Printf.printf "  %8d" x) xs;
+  print_newline ();
+  List.iter
+    (fun (name, ys) ->
+      Printf.printf "%-*s" width name;
+      List.iter (fun y -> Printf.printf "  %8.3f" y) ys;
+      print_newline ())
+    curves
+
+let print_note s = Printf.printf "  %s\n" s

@@ -1,0 +1,23 @@
+(** Formatting of experiment output: measured values printed next to the
+    paper's published values so shape agreement is visible at a glance. *)
+
+type row = {
+  label : string;
+  paper : float option;  (** the published value, when the paper gives one *)
+  measured : float;
+}
+
+val print_header : string -> unit
+(** Banner with the experiment's title. *)
+
+val print_table : metric:string -> row list -> unit
+(** Aligned table: label, paper value (or [-]), measured value, and the
+    measured/paper ratio when both exist. *)
+
+val print_series :
+  x_label:string -> metric:string -> xs:int list -> (string * float list) list -> unit
+(** A figure as a text table: one column per x value, one line per
+    curve. *)
+
+val print_note : string -> unit
+(** Free-form commentary line. *)

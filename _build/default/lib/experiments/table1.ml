@@ -1,0 +1,11 @@
+(* Table 1: B-tree throughput (operations / 1000 cycles), zero think
+   time, all nine schemes. *)
+
+let run ?(quick = false) () =
+  Report.print_header "Table 1: B-tree throughput, 0-cycle think time";
+  let ms = Btree_tables.measure ~quick ~think:0 Btree_tables.all_schemes in
+  Report.print_table ~metric:"ops/1000cyc"
+    (Btree_tables.rows ~paper:Btree_tables.paper_throughput_t1 ~metric:`Throughput ms);
+  Report.print_note
+    "Paper shape: SM first; CP beats RPC throughout; HW support and root replication";
+  Report.print_note "each close part of the gap, and CP w/repl.&HW approaches SM."

@@ -1,0 +1,3 @@
+(** Table 1 of the paper's B-tree evaluation (see {!Btree_tables}). *)
+
+val run : ?quick:bool -> unit -> unit

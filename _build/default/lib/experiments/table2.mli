@@ -1,0 +1,3 @@
+(** Table 2 of the paper's B-tree evaluation (see {!Btree_tables}). *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cm_engine Costs Network Printf Processor Rng Sim Stats Thread Topology

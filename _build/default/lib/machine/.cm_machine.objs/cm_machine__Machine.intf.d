@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cm_engine Costs Network Processor Rng Sim Stats Thread Topology

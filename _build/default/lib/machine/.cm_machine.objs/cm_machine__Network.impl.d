@@ -1,0 +1,1 @@
+lib/machine/network.ml: Cm_engine Costs Hashtbl List Sim Stats Topology Trace

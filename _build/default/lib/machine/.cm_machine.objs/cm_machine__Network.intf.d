@@ -1,0 +1,1 @@
+lib/machine/network.mli: Cm_engine Costs Sim Stats Topology

@@ -1,0 +1,1 @@
+lib/machine/processor.ml: Cm_engine Queue Sim Stats

@@ -1,0 +1,1 @@
+lib/machine/processor.mli: Cm_engine Sim Stats

@@ -1,0 +1,1 @@
+lib/machine/thread.ml: Cm_engine Network Processor Rng Sim

@@ -1,0 +1,1 @@
+lib/machine/thread.mli: Cm_engine Network Processor Rng

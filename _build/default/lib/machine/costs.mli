@@ -1,0 +1,91 @@
+(** Cycle-cost model of the simulated machine's message-passing runtime.
+
+    Every constant is taken from (or calibrated against) Table 5 of the
+    paper, which breaks down the 651 cycles of one single-activation
+    migration in the counting network (32-byte payload).  Costs with a
+    natural per-word component (packet copy, marshaling, unmarshaling) are
+    split into [base + per_word * words] so that messages of other sizes
+    scale sensibly.
+
+    The "hardware support" variants reproduce the paper's two estimates:
+    {ul
+    {- [ni_registers] — a Henry-Joerg register-mapped network interface:
+       packet copies drop to ~12 cycles, packet allocation disappears
+       (messages are composed in registers), and marshaling/unmarshaling
+       costs are halved;}
+    {- [goid_hardware] — J-Machine-style hardware translation of global
+       object identifiers: the translation cost disappears.}}
+    The paper's "w/HW" experiment rows enable both. *)
+
+type t = {
+  (* Receiver-side pipeline, charged on the receiving CPU. *)
+  copy_packet_base : int;
+  copy_packet_per_word : int;
+  thread_creation : int;
+  linkage_recv : int;
+  unmarshal_base : int;
+  unmarshal_per_word : int;
+  goid_translation : int;
+  scheduler : int;  (** charged by the processor on every task dispatch *)
+  forwarding_check : int;  (** locality check, charged on every annotated call *)
+  alloc_packet_recv : int;
+  (* Sender-side pipeline, charged on the sending CPU. *)
+  linkage_send : int;
+  alloc_packet_send : int;
+  msg_send : int;
+  marshal_base : int;
+  marshal_per_word : int;
+  (* Network parameters. *)
+  header_words : int;  (** words of header added to every message *)
+  net_base : int;  (** fixed wire latency *)
+  net_per_hop : int;  (** additional latency per mesh hop *)
+  net_per_word : int;  (** additional latency per word carried *)
+  (* Reply handling: resuming a blocked thread does not create a thread. *)
+  reply_recv_extra : int;  (** linkage to re-enter the blocked caller *)
+}
+
+val software : t
+(** The paper's measured all-software Prelude runtime (Table 5). *)
+
+val with_ni_registers : t -> t
+(** Apply the register-mapped network-interface estimate to a model. *)
+
+val with_goid_hardware : t -> t
+(** Apply the hardware object-identifier-translation estimate. *)
+
+val hardware : t
+(** [software] with both hardware estimates applied — the paper's "w/HW". *)
+
+(** {1 Derived quantities} *)
+
+val copy_packet : t -> words:int -> int
+(** Cost of copying an incoming packet of [words] payload words. *)
+
+val marshal : t -> words:int -> int
+(** Sender-side marshaling cost for [words] payload words. *)
+
+val unmarshal : t -> words:int -> int
+(** Receiver-side unmarshaling cost for [words] payload words. *)
+
+val send_pipeline : t -> words:int -> int
+(** Total sender-side CPU cycles to emit one message ([linkage + alloc +
+    marshal + send]). *)
+
+val recv_pipeline : t -> words:int -> new_thread:bool -> int
+(** Total receiver-side CPU cycles to accept one message, excluding the
+    scheduler dispatch (charged separately by the processor) and the
+    forwarding check (charged by the runtime once per annotated call).
+    [new_thread] distinguishes a fresh handler (RPC request, migration
+    arrival — pays thread creation) from a reply that resumes a blocked
+    thread. *)
+
+val transit : t -> hops:int -> words:int -> int
+(** Wire latency of a message over [hops] mesh hops carrying [words]
+    payload words (header included in the size term). *)
+
+val breakdown :
+  t -> words:int -> hops:int -> user_code:int -> (string * int) list
+(** [breakdown t ~words ~hops ~user_code] is the per-category cycle list
+    for one activation migration, in the layout of the paper's Table 5
+    (including the "User code", "Network transit", and aggregate rows).
+    The categories sum to the end-to-end latency of one migration hop. *)

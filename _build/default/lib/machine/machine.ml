@@ -1,0 +1,45 @@
+open Cm_engine
+
+type t = {
+  sim : Sim.t;
+  costs : Costs.t;
+  topo : Topology.t;
+  net : Network.t;
+  procs : Processor.t array;
+  stats : Stats.t;
+  rng : Rng.t;
+  mutable next_tid : int;
+}
+
+let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ~n_procs ~costs () =
+  if n_procs <= 0 then invalid_arg "Machine.create: n_procs must be positive";
+  let sim = Sim.create () in
+  let stats = Stats.create () in
+  let topo =
+    match topology with
+    | `Mesh -> Topology.mesh n_procs
+    | `Torus -> Topology.torus n_procs
+    | `Crossbar -> Topology.crossbar n_procs
+  in
+  let net = Network.create ~contention:net_contention ~sim ~topo ~costs ~stats () in
+  let procs =
+    Array.init n_procs (fun id ->
+        Processor.create ~sim ~stats ~scheduler_cost:costs.Costs.scheduler ~id)
+  in
+  { sim; costs; topo; net; procs; stats; rng = Rng.create ~seed; next_tid = 0 }
+
+let n_procs t = Array.length t.procs
+
+let proc t i =
+  if i < 0 || i >= Array.length t.procs then
+    invalid_arg (Printf.sprintf "Machine.proc: %d out of range [0,%d)" i (Array.length t.procs));
+  t.procs.(i)
+
+let spawn t ~on ?(on_exit = fun () -> ()) body =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  Thread.spawn ~tid ~rng:(Rng.split t.rng) ~on_exit:(fun () -> on_exit ()) (proc t on) body
+
+let run ?until t = Sim.run ?until t.sim
+
+let now t = Sim.now t.sim

@@ -1,0 +1,50 @@
+(** A simulated distributed-memory multiprocessor.
+
+    Bundles the simulator clock, the cost model, the topology, the network,
+    and an array of processors; provides seeded, reproducible thread
+    spawning.  Every higher layer (coherent shared memory, the Prelude-like
+    runtime, the applications) builds on a [Machine.t]. *)
+
+open Cm_engine
+
+type t = {
+  sim : Sim.t;
+  costs : Costs.t;
+  topo : Topology.t;
+  net : Network.t;
+  procs : Processor.t array;
+  stats : Stats.t;
+  rng : Rng.t;
+  mutable next_tid : int;  (** internal: spawn counter *)
+}
+
+val create :
+  ?seed:int ->
+  ?topology:[ `Mesh | `Torus | `Crossbar ] ->
+  ?net_contention:bool ->
+  n_procs:int ->
+  costs:Costs.t ->
+  unit ->
+  t
+(** [create ~n_procs ~costs ()] is a machine of [n_procs] processors on a
+    mesh (by default), with a fresh clock and statistics registry.
+    [seed] (default 42) fixes every random choice made under this
+    machine.  [net_contention] (default off) enables the link-occupancy
+    network model (see {!Network.create}). *)
+
+val n_procs : t -> int
+(** Number of processors. *)
+
+val proc : t -> int -> Processor.t
+(** [proc t i] is processor [i].  Raises [Invalid_argument] when out of
+    range. *)
+
+val spawn : t -> on:int -> ?on_exit:(unit -> unit) -> unit Thread.t -> unit
+(** [spawn t ~on body] starts a thread on processor [on] with a tid and
+    random stream drawn deterministically from the machine. *)
+
+val run : ?until:int -> t -> unit
+(** [run ?until t] drives the simulation (see {!Cm_engine.Sim.run}). *)
+
+val now : t -> int
+(** Current cycle. *)

@@ -1,0 +1,87 @@
+open Cm_engine
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  costs : Costs.t;
+  stats : Stats.t;
+  contention : bool;
+  link_bandwidth : int;  (* words per cycle per link *)
+  links : (int * int, int ref) Hashtbl.t;  (* directed link -> free-at time *)
+  mutable words : int;
+  mutable messages : int;
+}
+
+let create ?(contention = false) ?(link_bandwidth = 1) ~sim ~topo ~costs ~stats () =
+  if link_bandwidth <= 0 then invalid_arg "Network.create: link bandwidth must be positive";
+  {
+    sim;
+    topo;
+    costs;
+    stats;
+    contention;
+    link_bandwidth;
+    links = Hashtbl.create 256;
+    words = 0;
+    messages = 0;
+  }
+
+let link_free_at t link =
+  match Hashtbl.find_opt t.links link with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.links link r;
+    r
+
+(* Store-and-forward over the message's route: each link is occupied for
+   the message's transmission time and messages sharing a link queue
+   behind one another. *)
+let contended_latency t ~src ~dst ~wire_words =
+  let occupancy = (wire_words + t.link_bandwidth - 1) / t.link_bandwidth in
+  let now = Sim.now t.sim in
+  let cursor = ref (now + t.costs.Costs.net_base) in
+  List.iter
+    (fun link ->
+      let free = link_free_at t link in
+      let start = max !cursor !free in
+      free := start + occupancy;
+      cursor := start + occupancy + t.costs.Costs.net_per_hop)
+    (Topology.route t.topo ~src ~dst);
+  if !cursor - now > 0 then begin
+    Stats.add t.stats "net.contended_cycles" (!cursor - now);
+    !cursor - now
+  end
+  else 1
+
+let send t ~src ~dst ~words ~kind deliver =
+  if words < 0 then invalid_arg "Network.send: negative size";
+  let hops = Topology.hops t.topo ~src ~dst in
+  let wire_words = words + t.costs.Costs.header_words in
+  let latency =
+    if t.contention then contended_latency t ~src ~dst ~wire_words
+    else Costs.transit t.costs ~hops ~words
+  in
+  t.words <- t.words + wire_words;
+  
+  t.messages <- t.messages + 1;
+  Stats.add t.stats "net.words" wire_words;
+  Stats.incr t.stats "net.messages";
+  Stats.add t.stats ("net.words." ^ kind) wire_words;
+  Stats.incr t.stats ("net.messages." ^ kind);
+  if Trace.enabled Trace.Events then
+    Trace.eventf ~time:(Sim.now t.sim) "net: %s %d->%d %dw (%d hops, %d cyc)" kind src dst
+      wire_words hops latency;
+  Sim.after t.sim latency deliver;
+  latency
+
+let total_words t = t.words
+
+let total_messages t = t.messages
+
+let words_of_kind t kind = Stats.get t.stats ("net.words." ^ kind)
+
+let messages_of_kind t kind = Stats.get t.stats ("net.messages." ^ kind)
+
+let bandwidth_per_10_cycles t ~now =
+  if now = 0 then 0. else 10. *. float_of_int t.words /. float_of_int now

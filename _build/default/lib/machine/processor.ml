@@ -1,0 +1,58 @@
+open Cm_engine
+
+type t = {
+  id : int;
+  sim : Sim.t;
+  stats : Stats.t;
+  scheduler_cost : int;
+  runq : (unit -> unit) Queue.t;
+  mutable busy : bool;
+  mutable busy_cycles : int;
+}
+
+let create ~sim ~stats ~scheduler_cost ~id =
+  { id; sim; stats; scheduler_cost; runq = Queue.create (); busy = false; busy_cycles = 0 }
+
+let id p = p.id
+
+let sim p = p.sim
+
+let is_busy p = p.busy
+
+let queue_length p = Queue.length p.runq
+
+let busy_cycles p = p.busy_cycles
+
+let utilization p ~now = if now = 0 then 0. else float_of_int p.busy_cycles /. float_of_int now
+
+let hold p n k =
+  assert (p.busy);
+  if n < 0 then invalid_arg "Processor.hold: negative duration";
+  p.busy_cycles <- p.busy_cycles + n;
+  Sim.after p.sim n k
+
+let charge p n =
+  assert (p.busy);
+  if n < 0 then invalid_arg "Processor.charge: negative duration";
+  p.busy_cycles <- p.busy_cycles + n
+
+(* Dispatch the next ready task, charging the scheduler cost.  The task
+   runs synchronously at the end of the dispatch delay; it is expected to
+   schedule its own continuation chain and ultimately call [release]. *)
+let rec dispatch p =
+  match Queue.take_opt p.runq with
+  | None -> ()
+  | Some task ->
+    p.busy <- true;
+    Stats.incr p.stats "proc.dispatches";
+    p.busy_cycles <- p.busy_cycles + p.scheduler_cost;
+    Sim.after p.sim p.scheduler_cost task
+
+and release p =
+  assert (p.busy);
+  p.busy <- false;
+  dispatch p
+
+let enqueue p task =
+  Queue.add task p.runq;
+  if not p.busy then dispatch p

@@ -1,0 +1,95 @@
+open Cm_engine
+
+type ctx = { thread_id : int; mutable location : Processor.t; stream : Rng.t }
+
+type 'a t = ctx -> ('a -> unit) -> unit
+
+let return x _ k = k x
+
+let bind m f c k = m c (fun x -> f x c k)
+
+let map f m c k = m c (fun x -> k (f x))
+
+module Infix = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+  let ( >>= ) = bind
+end
+
+open Infix
+
+let tid c k = k c.thread_id
+
+let proc c k = k c.location
+
+let rng c k = k c.stream
+
+let compute n c k = Processor.hold c.location n k
+
+let yield c k =
+  let p = c.location in
+  Processor.enqueue p (fun () -> k ());
+  Processor.release p
+
+let sleep n c k =
+  let p = c.location in
+  Sim.after (Processor.sim p) n (fun () -> Processor.enqueue p (fun () -> k ()));
+  Processor.release p
+
+let await register c k =
+  let p = c.location in
+  register ~resume:(fun v -> Processor.enqueue p (fun () -> k v));
+  Processor.release p
+
+let stall register c k =
+  let p = c.location in
+  let start = Sim.now (Processor.sim p) in
+  register ~resume:(fun v ->
+      Processor.charge p (Sim.now (Processor.sim p) - start);
+      k v)
+
+let travel ~net ~dst ~words ~kind ~recv_work c k =
+  let src = c.location in
+  let (_ : int) =
+    Network.send net ~src:(Processor.id src) ~dst:(Processor.id dst) ~words ~kind (fun () ->
+        Processor.enqueue dst (fun () ->
+            c.location <- dst;
+            Processor.hold dst recv_work k))
+  in
+  Processor.release src
+
+let next_tid = ref 0
+
+let spawn ?tid ?rng ?(on_exit = fun _ -> ()) p body =
+  let thread_id =
+    match tid with
+    | Some id -> id
+    | None ->
+      let id = !next_tid in
+      incr next_tid;
+      id
+  in
+  let stream = match rng with Some r -> r | None -> Rng.create ~seed:(thread_id + 1) in
+  let c = { thread_id; location = p; stream } in
+  Processor.enqueue p (fun () ->
+      body c (fun v ->
+          on_exit v;
+          Processor.release c.location))
+
+let rec iter_list f = function
+  | [] -> return ()
+  | x :: rest ->
+    let* () = f x in
+    iter_list f rest
+
+let repeat n f =
+  let rec go i = if i >= n then return () else let* () = f i in go (i + 1) in
+  go 0
+
+let rec while_ cond body =
+  if cond () then
+    let* () = body in
+    while_ cond body
+  else return ()
+
+let ignore_m m c k = m c (fun _ -> k ())

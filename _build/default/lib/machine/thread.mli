@@ -1,0 +1,116 @@
+(** Simulated lightweight threads.
+
+    A thread is a value of type ['a t] — a computation in
+    continuation-passing style over a mutable thread context.  The
+    continuation is a first-class OCaml value, which is exactly the piece
+    of state that computation migration ships between processors: the
+    {!travel} primitive sends the current continuation to another
+    processor, where it resumes with the context's processor rebound.
+
+    Threads cooperate with the processor model: a running thread owns its
+    CPU between dispatch and the next blocking point ({!await}, {!sleep},
+    {!travel}, or termination); {!compute} advances simulated time while
+    keeping the CPU. *)
+
+open Cm_engine
+
+type ctx
+(** A thread's identity and current location. *)
+
+type 'a t = ctx -> ('a -> unit) -> unit
+(** A computation producing an ['a], parameterized by the thread context
+    and its continuation. *)
+
+(** {1 Monad} *)
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+module Infix : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+end
+
+(** {1 Context access} *)
+
+val tid : int t
+(** The thread's identifier (unique per spawn within a machine). *)
+
+val proc : Processor.t t
+(** The processor the thread is currently running on. *)
+
+val rng : Rng.t t
+(** The thread's private random stream. *)
+
+(** {1 Time and scheduling} *)
+
+val compute : int -> unit t
+(** [compute n] spends [n] cycles of CPU work on the current processor. *)
+
+val yield : unit t
+(** [yield] releases the CPU and requeues the thread at the back of the
+    current processor's ready queue. *)
+
+val sleep : int -> unit t
+(** [sleep n] releases the CPU for at least [n] cycles, then requeues the
+    thread (used for think times and lock backoff). *)
+
+val await : (resume:('a -> unit) -> unit) -> 'a t
+(** [await register] blocks the thread: [register ~resume] is called with a
+    resumption function and must arrange for [resume v] to be invoked by a
+    later simulation event (never synchronously); the CPU is released in
+    the meantime and the thread continues with [v] on its original
+    processor once re-dispatched. *)
+
+val stall : (resume:('a -> unit) -> unit) -> 'a t
+(** [stall register] is like {!await} except that the CPU is {e not}
+    released: the processor stalls (as on a cache miss in a
+    non-multithreaded machine) until [resume v] is invoked by a later
+    simulation event, and the stalled cycles are charged as busy time.
+    The continuation runs directly from the resuming event. *)
+
+val travel :
+  net:Network.t ->
+  dst:Processor.t ->
+  words:int ->
+  kind:string ->
+  recv_work:int ->
+  unit t
+(** [travel ~net ~dst ~words ~kind ~recv_work] migrates the thread's
+    continuation to [dst]: one [kind] message of [words] payload words is
+    sent, the source CPU is released, and on delivery the continuation
+    queues at [dst], paying [recv_work] cycles of receive-pipeline work
+    once dispatched.  After [travel], {!proc} is [dst].  A no-op message is
+    still sent when [dst] is the current processor (callers should test
+    locality first — the runtime's forwarding check does). *)
+
+(** {1 Spawning} *)
+
+val spawn :
+  ?tid:int ->
+  ?rng:Rng.t ->
+  ?on_exit:('a -> unit) ->
+  Processor.t ->
+  'a t ->
+  unit
+(** [spawn proc body] creates a thread and queues it on [proc].  When
+    [body] finishes with value [v], [on_exit v] runs and the CPU is
+    released. *)
+
+(** {1 Combinators} *)
+
+val iter_list : ('a -> unit t) -> 'a list -> unit t
+(** [iter_list f xs] runs [f] on each element in order. *)
+
+val repeat : int -> (int -> unit t) -> unit t
+(** [repeat n f] runs [f 0], ..., [f (n-1)] in order. *)
+
+val while_ : (unit -> bool) -> unit t -> unit t
+(** [while_ cond body] runs [body] as long as [cond ()] holds.  [body]
+    must contain at least one time-advancing operation, or the simulation
+    would loop at the current instant. *)
+
+val ignore_m : 'a t -> unit t
+(** [ignore_m m] runs [m] and discards its result. *)

@@ -1,0 +1,1 @@
+lib/memory/cache.ml: Array Cm_engine Stats

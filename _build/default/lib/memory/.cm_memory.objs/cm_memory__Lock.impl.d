@@ -1,0 +1,1 @@
+lib/memory/lock.ml: Cm_engine Cm_machine Rng Shmem Thread

@@ -1,0 +1,1 @@
+lib/memory/lock.mli: Cm_machine Shmem Thread

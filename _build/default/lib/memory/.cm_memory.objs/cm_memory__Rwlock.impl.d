@@ -1,0 +1,1 @@
+lib/memory/rwlock.ml: Cm_engine Cm_machine Rng Shmem Thread

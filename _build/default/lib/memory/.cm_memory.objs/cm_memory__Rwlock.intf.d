@@ -1,0 +1,1 @@
+lib/memory/rwlock.mli: Cm_machine Shmem Thread

@@ -1,0 +1,1 @@
+lib/memory/shmem.ml: Array Cache Cm_engine Cm_machine Hashtbl Int Machine Network Printf Processor Set Sim Stats Thread

@@ -1,0 +1,1 @@
+lib/memory/shmem.mli: Cache Cm_machine Machine Thread

@@ -1,0 +1,70 @@
+open Cm_engine
+
+type state = Shared | Modified
+
+type slot = { mutable tag : int; mutable st : state; mutable data : int array }
+
+type t = { slots : slot array; words_per_line : int; stats : Stats.t }
+
+let no_line = -1
+
+let create ~n_slots ~line_words ~stats =
+  if n_slots <= 0 || line_words <= 0 then invalid_arg "Cache.create: bad geometry";
+  {
+    slots = Array.init n_slots (fun _ -> { tag = no_line; st = Shared; data = [||] });
+    words_per_line = line_words;
+    stats;
+  }
+
+let line_words t = t.words_per_line
+
+let slot_of t line = t.slots.(line mod Array.length t.slots)
+
+let lookup t ~line =
+  let s = slot_of t line in
+  if s.tag = line then Some (s.st, s.data) else None
+
+let state t ~line =
+  let s = slot_of t line in
+  if s.tag = line then Some s.st else None
+
+type evicted = { line : int; was_modified : bool; data : int array }
+
+let insert t ~line ~state ~data =
+  let s = slot_of t line in
+  let evicted =
+    if s.tag <> no_line && s.tag <> line then
+      Some { line = s.tag; was_modified = s.st = Modified; data = s.data }
+    else None
+  in
+  s.tag <- line;
+  s.st <- state;
+  s.data <- Array.copy data;
+  evicted
+
+let set_state t ~line st =
+  let s = slot_of t line in
+  if s.tag <> line then invalid_arg "Cache.set_state: line not resident";
+  s.st <- st
+
+let invalidate t ~line =
+  let s = slot_of t line in
+  if s.tag = line then begin
+    let dirty = if s.st = Modified then Some s.data else None in
+    s.tag <- no_line;
+    s.data <- [||];
+    dirty
+  end
+  else None
+
+let resident_lines t =
+  Array.fold_left (fun acc s -> if s.tag <> no_line then acc + 1 else acc) 0 t.slots
+
+let record_hit t = Stats.incr t.stats "cache.hits"
+
+let record_miss t = Stats.incr t.stats "cache.misses"
+
+let hit_rate ~stats =
+  let hits = Stats.get stats "cache.hits" and misses = Stats.get stats "cache.misses" in
+  let total = hits + misses in
+  if total = 0 then nan else float_of_int hits /. float_of_int total

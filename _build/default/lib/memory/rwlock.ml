@@ -1,0 +1,50 @@
+open Cm_engine
+open Cm_machine
+open Thread.Infix
+
+type t = { mem : Shmem.t; word : Shmem.addr; base_backoff : int; max_backoff : int }
+
+let create ?(base_backoff = 64) ?(max_backoff = 2048) mem ~home =
+  { mem; word = Shmem.alloc mem ~home ~words:1; base_backoff; max_backoff }
+
+let writer = -1
+
+let backoff_then l backoff k =
+  let* r = Thread.rng in
+  let jitter = Rng.int r (max 1 backoff) in
+  let* () = Thread.sleep (backoff + jitter) in
+  k (min (backoff * 2) l.max_backoff)
+
+let acquire_read l =
+  let rec attempt backoff =
+    (* Conditional increment: fails (leaves the word alone) while a
+       writer holds the lock. *)
+    let* old = Shmem.rmw l.mem l.word (fun v -> if v >= 0 then v + 1 else v) in
+    if old >= 0 then Thread.return () else backoff_then l backoff attempt
+  in
+  attempt l.base_backoff
+
+let release_read l = Thread.ignore_m (Shmem.rmw l.mem l.word (fun v -> v - 1))
+
+let acquire_write l =
+  let rec attempt backoff =
+    let* old = Shmem.rmw l.mem l.word (fun v -> if v = 0 then writer else v) in
+    if old = 0 then Thread.return () else backoff_then l backoff attempt
+  in
+  attempt l.base_backoff
+
+let release_write l = Shmem.write l.mem l.word 0
+
+let with_read l body =
+  let* () = acquire_read l in
+  let* result = body () in
+  let* () = release_read l in
+  Thread.return result
+
+let with_write l body =
+  let* () = acquire_write l in
+  let* result = body () in
+  let* () = release_write l in
+  Thread.return result
+
+let free l = Shmem.peek l.mem l.word = 0

@@ -1,0 +1,309 @@
+open Cm_engine
+open Cm_machine
+
+module ISet = Set.Make (Int)
+
+type config = {
+  line_words : int;
+  cache_slots : int;
+  hit_cost : int;
+  dir_latency : int;
+  ctrl_words : int;
+}
+
+let default_config =
+  { line_words = 4; cache_slots = 4096; hit_cost = 3; dir_latency = 30; ctrl_words = 1 }
+
+type addr = int
+
+(* Directory state of one line, held at its home node. *)
+type dir_state = Uncached | Shared_by of ISet.t | Owned of int
+
+type line_info = {
+  home : int;
+  mutable dstate : dir_state;
+  mem : int array;
+  mutable busy_until : int;  (* directory serialization of transactions *)
+}
+
+type t = {
+  machine : Machine.t;
+  cfg : config;
+  caches : Cache.t array;
+  lines : (int, line_info) Hashtbl.t;
+  mutable brk : int;  (* allocation cursor, in lines *)
+}
+
+let create ?(config = default_config) machine =
+  let caches =
+    Array.init (Machine.n_procs machine) (fun _ ->
+        Cache.create ~n_slots:config.cache_slots ~line_words:config.line_words
+          ~stats:machine.Machine.stats)
+  in
+  { machine; cfg = config; caches; lines = Hashtbl.create 4096; brk = 0 }
+
+let config t = t.cfg
+
+let alloc t ~home ~words =
+  if words <= 0 then invalid_arg "Shmem.alloc: words must be positive";
+  if home < 0 || home >= Machine.n_procs t.machine then invalid_arg "Shmem.alloc: bad home";
+  let lw = t.cfg.line_words in
+  let n_lines = (words + lw - 1) / lw in
+  let first_line = t.brk in
+  t.brk <- t.brk + n_lines;
+  for line = first_line to first_line + n_lines - 1 do
+    Hashtbl.add t.lines line { home; dstate = Uncached; mem = Array.make lw 0; busy_until = 0 }
+  done;
+  first_line * lw
+
+let line_of t a = a / t.cfg.line_words
+
+let offset_of t a = a mod t.cfg.line_words
+
+let info_exn t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Shmem: unallocated line %d" line)
+
+let home_of t a = (info_exn t (line_of t a)).home
+
+let stats t = t.machine.Machine.stats
+
+let sim t = t.machine.Machine.sim
+
+(* Inject a protocol message and return its wire latency (including
+   link queueing when the contention model is on); protocol state
+   changes are applied atomically at issue time, so delivery itself is
+   a no-op. *)
+let msg t ~src ~dst ~words ~kind =
+  Network.send t.machine.Machine.net ~src ~dst ~words ~kind ignore
+
+(* Install [data] for [line] in [pid]'s cache, writing back a displaced
+   modified victim. *)
+let install t pid line state data =
+  match Cache.insert t.caches.(pid) ~line ~state ~data with
+  | None -> ()
+  | Some ev ->
+    if ev.Cache.was_modified then begin
+      let vinfo = info_exn t ev.Cache.line in
+      (match vinfo.dstate with
+      | Owned o -> assert (o = pid)
+      | Uncached | Shared_by _ -> assert false);
+      Array.blit ev.Cache.data 0 vinfo.mem 0 t.cfg.line_words;
+      vinfo.dstate <- Uncached;
+      Stats.incr (stats t) "coh.evict_wb";
+      ignore
+        (msg t ~src:pid ~dst:vinfo.home ~words:(t.cfg.ctrl_words + t.cfg.line_words)
+           ~kind:"coh_wb")
+    end
+    else Stats.incr (stats t) "coh.evict_clean"
+(* A cleanly evicted line leaves a stale sharer in the directory; later
+   invalidations still message it, as in real full-map protocols. *)
+
+(* Read-miss transaction: bring [line] into [pid]'s cache in Shared state.
+   Returns the transaction latency.  All state changes happen now. *)
+let read_miss t pid line =
+  let cfg = t.cfg in
+  let info = info_exn t line in
+  let home = info.home in
+  Stats.incr (stats t) "coh.read_miss";
+  let req = msg t ~src:pid ~dst:home ~words:cfg.ctrl_words ~kind:"coh_req" in
+  let lat = ref (req + cfg.dir_latency) in
+  (match info.dstate with
+  | Owned o ->
+    assert (o <> pid);
+    (* Fetch from the owner: it writes back and keeps a Shared copy. *)
+    let fetch = msg t ~src:home ~dst:o ~words:cfg.ctrl_words ~kind:"coh_fetch" in
+    let wb = msg t ~src:o ~dst:home ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_wb" in
+    (match Cache.lookup t.caches.(o) ~line with
+    | Some (Cache.Modified, d) ->
+      Array.blit d 0 info.mem 0 cfg.line_words;
+      Cache.set_state t.caches.(o) ~line Cache.Shared
+    | Some (Cache.Shared, _) | None -> assert false);
+    lat := !lat + fetch + wb + cfg.dir_latency;
+    info.dstate <- Shared_by (ISet.of_list [ o; pid ])
+  | Shared_by s -> info.dstate <- Shared_by (ISet.add pid s)
+  | Uncached -> info.dstate <- Shared_by (ISet.singleton pid));
+  let data = msg t ~src:home ~dst:pid ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_data" in
+  lat := !lat + data;
+  install t pid line Cache.Shared info.mem;
+  !lat
+
+(* Invalidate every sharer in [others]; returns the slowest
+   invalidate/ack round trip. *)
+let invalidate_sharers t ~home ~others line =
+  let cfg = t.cfg in
+  let slowest = ref 0 in
+  ISet.iter
+    (fun sh ->
+      Stats.incr (stats t) "coh.invalidations";
+      let inv = msg t ~src:home ~dst:sh ~words:cfg.ctrl_words ~kind:"coh_inv" in
+      let ack = msg t ~src:sh ~dst:home ~words:cfg.ctrl_words ~kind:"coh_ack" in
+      ignore (Cache.invalidate t.caches.(sh) ~line);
+      let round = inv + ack in
+      if round > !slowest then slowest := round)
+    others;
+  !slowest
+
+(* Exclusive-ownership transaction (write miss or upgrade).  Afterwards
+   [pid]'s cache holds [line] in Modified state; returns the latency. *)
+let write_miss t pid line =
+  let cfg = t.cfg in
+  let info = info_exn t line in
+  let home = info.home in
+  let req = msg t ~src:pid ~dst:home ~words:cfg.ctrl_words ~kind:"coh_req" in
+  let lat = ref (req + cfg.dir_latency) in
+  let had_shared_copy =
+    match Cache.state t.caches.(pid) ~line with Some Cache.Shared -> true | _ -> false
+  in
+  (match info.dstate with
+  | Uncached -> ()
+  | Shared_by s ->
+    let others = ISet.remove pid s in
+    lat := !lat + invalidate_sharers t ~home ~others line
+  | Owned o ->
+    assert (o <> pid);
+    (* Fetch-and-invalidate the current owner. *)
+    Stats.incr (stats t) "coh.invalidations";
+    let fetch = msg t ~src:home ~dst:o ~words:cfg.ctrl_words ~kind:"coh_fetch" in
+    let wb = msg t ~src:o ~dst:home ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_wb" in
+    (match Cache.invalidate t.caches.(o) ~line with
+    | Some dirty -> Array.blit dirty 0 info.mem 0 cfg.line_words
+    | None -> assert false);
+    lat := !lat + fetch + wb + cfg.dir_latency);
+  info.dstate <- Owned pid;
+  if had_shared_copy then begin
+    (* Upgrade: data is already present and clean; only an ack returns. *)
+    Stats.incr (stats t) "coh.upgrades";
+    let upgack = msg t ~src:home ~dst:pid ~words:cfg.ctrl_words ~kind:"coh_upgack" in
+    lat := !lat + upgack;
+    Cache.set_state t.caches.(pid) ~line Cache.Modified
+  end
+  else begin
+    Stats.incr (stats t) "coh.write_miss";
+    let data =
+      msg t ~src:home ~dst:pid ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_data"
+    in
+    lat := !lat + data;
+    install t pid line Cache.Modified info.mem
+  end;
+  !lat
+
+(* The live, writable copy of [line] in [pid]'s cache (which must hold it
+   in Modified state). *)
+let owned_data t pid line =
+  match Cache.lookup t.caches.(pid) ~line with
+  | Some (Cache.Modified, d) -> d
+  | Some (Cache.Shared, _) | None -> assert false
+
+(* The home directory pipelines read requests but services exclusive
+   (ownership-transfer) transactions on a line one at a time: a write
+   issued while an earlier transaction is in flight queues behind it.
+   This serialization of hot write-shared lines bounds e.g. how fast a
+   balancer lock can be handed between processors. *)
+let resume_after_transaction t line ~exclusive lat k =
+  let info = info_exn t line in
+  let now = Sim.now (sim t) in
+  if exclusive then begin
+    let start = max now info.busy_until in
+    let finish = start + lat in
+    info.busy_until <- finish;
+    Sim.at (sim t) finish k
+  end
+  else begin
+    (* Reads still queue behind a pending exclusive transfer. *)
+    let finish = max (now + lat) info.busy_until in
+    Sim.at (sim t) finish k
+  end
+
+open Thread.Infix
+
+let with_pid (f : int -> 'a Thread.t) : 'a Thread.t =
+  let* p = Thread.proc in
+  f (Processor.id p)
+
+let read t a =
+  let line = line_of t a and off = offset_of t a in
+  with_pid (fun pid ->
+      let cache = t.caches.(pid) in
+      let* () = Thread.compute t.cfg.hit_cost in
+      match Cache.lookup cache ~line with
+      | Some (_, data) ->
+        Cache.record_hit cache;
+        Thread.return data.(off)
+      | None ->
+        Cache.record_miss cache;
+        Thread.stall (fun ~resume ->
+            let lat = read_miss t pid line in
+            let value = (info_exn t line).mem.(off) in
+            resume_after_transaction t line ~exclusive:false lat (fun () -> resume value)))
+
+(* Obtain Modified ownership of [a]'s line, then atomically apply
+   [mutate] to the cached copy.  Shared by [write] and [rmw]. *)
+let exclusive_update t a (mutate : int array -> int -> 'r) : 'r Thread.t =
+  let line = line_of t a and off = offset_of t a in
+  with_pid (fun pid ->
+      let cache = t.caches.(pid) in
+      let* () = Thread.compute t.cfg.hit_cost in
+      match Cache.lookup cache ~line with
+      | Some (Cache.Modified, data) ->
+        Cache.record_hit cache;
+        Thread.return (mutate data off)
+      | Some (Cache.Shared, _) | None ->
+        (match Cache.state cache ~line with
+        | Some Cache.Shared -> Cache.record_hit cache (* data present, permission miss *)
+        | _ -> Cache.record_miss cache);
+        Thread.stall (fun ~resume ->
+            let lat = write_miss t pid line in
+            let result = mutate (owned_data t pid line) off in
+            resume_after_transaction t line ~exclusive:true lat (fun () -> resume result)))
+
+let write t a v =
+  exclusive_update t a (fun data off -> data.(off) <- v)
+
+let rmw t a f =
+  exclusive_update t a (fun data off ->
+      let old = data.(off) in
+      data.(off) <- f old;
+      old)
+
+let read_block t a n =
+  if n < 0 then invalid_arg "Shmem.read_block: negative size";
+  let result = Array.make (max n 1) 0 in
+  let rec go i =
+    if i >= n then Thread.return result
+    else
+      let* v = read t (a + i) in
+      result.(i) <- v;
+      go (i + 1)
+  in
+  go 0
+
+(* Authoritative current copy of a line: the owner's cached data when the
+   line is Owned, the home memory otherwise. *)
+let current_copy t line =
+  let info = info_exn t line in
+  match info.dstate with Owned o -> owned_data t o line | Uncached | Shared_by _ -> info.mem
+
+let peek t a = (current_copy t (line_of t a)).(offset_of t a)
+
+let poke t a v =
+  let line = line_of t a and off = offset_of t a in
+  let copy = current_copy t line in
+  copy.(off) <- v;
+  (* Keep any clean Shared copies consistent (initialization happens
+     before threads run, but tests may poke mid-run for fault injection). *)
+  let info = info_exn t line in
+  (match info.dstate with
+  | Shared_by s ->
+    ISet.iter
+      (fun sh ->
+        match Cache.lookup t.caches.(sh) ~line with
+        | Some (_, d) -> d.(off) <- v
+        | None -> ())
+      s
+  | Uncached | Owned _ -> ())
+
+let cache_of t p = t.caches.(p)
+
+let hit_rate t = Cache.hit_rate ~stats:(stats t)

@@ -1,0 +1,1 @@
+lib/runtime/adaptive.ml: Cm_machine Hashtbl List Processor Runtime Thread

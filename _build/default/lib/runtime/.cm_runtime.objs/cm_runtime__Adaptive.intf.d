@@ -1,0 +1,1 @@
+lib/runtime/adaptive.mli: Cm_machine Runtime Thread

@@ -1,0 +1,1 @@
+lib/runtime/objmig.ml: Cm_engine Cm_machine Costs Hashtbl Machine Network Objspace Processor Runtime Stats Thread

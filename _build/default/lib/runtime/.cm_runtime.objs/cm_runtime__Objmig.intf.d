@@ -1,0 +1,1 @@
+lib/runtime/objmig.mli: Cm_machine Objspace Runtime Thread

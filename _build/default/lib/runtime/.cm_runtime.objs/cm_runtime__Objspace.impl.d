@@ -1,0 +1,1 @@
+lib/runtime/objspace.ml: Array Cm_machine Machine Printf

@@ -1,0 +1,1 @@
+lib/runtime/objspace.mli: Cm_machine Machine

@@ -1,0 +1,1 @@
+lib/runtime/replicate.ml: Array Cm_engine Cm_machine Costs Machine Network Processor Runtime Stats Thread

@@ -1,0 +1,1 @@
+lib/runtime/replicate.mli: Cm_machine Runtime Thread

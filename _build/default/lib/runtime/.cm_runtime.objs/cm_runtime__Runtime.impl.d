@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Cm_engine Cm_machine Costs Machine Network Processor Stats Thread

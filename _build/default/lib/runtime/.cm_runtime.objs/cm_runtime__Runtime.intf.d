@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Cm_machine Machine Thread

@@ -1,0 +1,147 @@
+open Cm_engine
+open Cm_machine
+open Thread.Infix
+
+type 'state t = {
+  rt : Runtime.t;
+  space : 'state Objspace.t;
+  words_of : 'state -> int;
+  hints : (int * Objspace.id, int) Hashtbl.t;  (* (processor, object) -> believed home *)
+}
+
+let create rt space ~words_of = { rt; space; words_of; hints = Hashtbl.create 64 }
+
+let machine t = Runtime.machine t.rt
+
+let costs t = (machine t).Machine.costs
+
+let net t = (machine t).Machine.net
+
+let stats t = (machine t).Machine.stats
+
+(* The caller's current belief about where the object lives.  First use
+   consults the (free) name service — afterwards only forwarding keeps
+   beliefs up to date, as in Emerald. *)
+let hint t ~pid i =
+  match Hashtbl.find_opt t.hints (pid, i) with
+  | Some h -> h
+  | None ->
+    let h = Objspace.home t.space i in
+    Hashtbl.replace t.hints (pid, i) h;
+    h
+
+let learn t ~pid i home = Hashtbl.replace t.hints (pid, i) home
+
+let forwards t = Stats.get (stats t) "objmig.forwards"
+
+let object_moves t = Stats.get (stats t) "objmig.moves"
+
+(* Run [m] on the object as a handler occupying [on]'s CPU, then reply
+   to [caller]; [resume] receives the result and the object's home at
+   execution time (to repair the caller's hint). *)
+let rec serve t i ~on ~caller ~args_words ~result_words m resume =
+  let c = costs t in
+  Machine.spawn (machine t) ~on
+    (let* () = Thread.compute (Costs.recv_pipeline c ~words:args_words ~new_thread:true) in
+     let here = Objspace.home t.space i in
+     if here = on then
+       let* r = m (Objspace.state t.space i) in
+       let* () = Thread.compute (Costs.send_pipeline c ~words:result_words) in
+       fun _ctx k ->
+         let (_ : int) =
+           Network.send (net t) ~src:on ~dst:caller ~words:result_words ~kind:"objmig_reply"
+             (fun () -> resume (r, on))
+         in
+         k ()
+     else begin
+       (* Stale home: forward the request to where the object went. *)
+       Stats.incr (stats t) "objmig.forwards";
+       let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
+       fun _ctx k ->
+         let (_ : int) =
+           Network.send (net t) ~src:on ~dst:here ~words:args_words ~kind:"objmig_forward"
+             (fun () ->
+               serve t i ~on:here ~caller ~args_words ~result_words m resume)
+         in
+         k ()
+     end)
+
+let call t i ~args_words ~result_words m =
+  let c = costs t in
+  let* () = Thread.compute c.Costs.forwarding_check in
+  let* p = Thread.proc in
+  let pid = Processor.id p in
+  let believed = hint t ~pid i in
+  if believed = pid && Objspace.home t.space i = pid then m (Objspace.state t.space i)
+  else begin
+    let target = if believed = pid then Objspace.home t.space i else believed in
+    let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
+    let* r, home =
+      Thread.await (fun ~resume ->
+          let (_ : int) =
+            Network.send (net t) ~src:pid ~dst:target ~words:args_words ~kind:"objmig_call"
+              (fun () -> serve t i ~on:target ~caller:pid ~args_words ~result_words m resume)
+          in
+          ())
+    in
+    learn t ~pid i home;
+    let* () = Thread.compute (Costs.recv_pipeline c ~words:result_words ~new_thread:false) in
+    Thread.return r
+  end
+
+let migrate_object t i ~to_ =
+  let c = costs t in
+  let* p = Thread.proc in
+  let pid = Processor.id p in
+  let home = Objspace.home t.space i in
+  if home = to_ then Thread.return ()
+  else begin
+    Stats.incr (stats t) "objmig.moves";
+    let words = t.words_of (Objspace.state t.space i) in
+    (* The home packs and ships the object's state to [to_], which
+       unpacks it; the requester resumes once the object has landed. *)
+    let transfer resume =
+      Machine.spawn (machine t) ~on:home
+        (let* () = Thread.compute (Costs.send_pipeline c ~words) in
+         Objspace.move t.space i ~to_;
+         fun _ctx k ->
+           let (_ : int) =
+             Network.send (net t) ~src:home ~dst:to_ ~words ~kind:"objmig_transfer" (fun () ->
+                 Machine.spawn (machine t) ~on:to_
+                   (let* () = Thread.compute (Costs.recv_pipeline c ~words ~new_thread:true) in
+                    fun _ctx2 k2 ->
+                      resume ();
+                      k2 ()))
+           in
+           k ())
+    in
+    (* A control message reaches the home first when the requester is
+       elsewhere. *)
+    let* () =
+      if pid = home then Thread.return ()
+      else Thread.compute (Costs.send_pipeline c ~words:2)
+    in
+    let* () =
+      Thread.await (fun ~resume ->
+          if pid = home then transfer resume
+          else
+            let (_ : int) =
+              Network.send (net t) ~src:pid ~dst:home ~words:2 ~kind:"objmig_call" (fun () ->
+                  transfer resume)
+            in
+            ())
+    in
+    learn t ~pid i to_;
+    Thread.return ()
+  end
+
+let call_pull t i ~result_words m =
+  let c = costs t in
+  let* () = Thread.compute c.Costs.forwarding_check in
+  let* p = Thread.proc in
+  let pid = Processor.id p in
+  ignore result_words;
+  if Objspace.home t.space i = pid then m (Objspace.state t.space i)
+  else
+    let* () = migrate_object t i ~to_:pid in
+    m (Objspace.state t.space i)

@@ -1,0 +1,96 @@
+open Cm_engine
+open Cm_machine
+open Thread.Infix
+
+type 'a t = {
+  rt : Runtime.t;
+  home : int;
+  words_of : 'a -> int;
+  copies : 'a option array;
+  mutable master : 'a;
+  mutable version : int;
+}
+
+let create rt ~home ~words_of v =
+  let machine = Runtime.machine rt in
+  if home < 0 || home >= Machine.n_procs machine then invalid_arg "Replicate.create: bad home";
+  {
+    rt;
+    home;
+    words_of;
+    copies = Array.make (Machine.n_procs machine) None;
+    master = v;
+    version = 0;
+  }
+
+let home t = t.home
+
+let stats t = (Runtime.machine t.rt).Machine.stats
+
+(* A replica read costs a few cycles of pointer chasing. *)
+let local_read_cost = 4
+
+let read t =
+  let* p = Thread.proc in
+  let pid = Processor.id p in
+  if pid = t.home then
+    let* () = Thread.compute local_read_cost in
+    Thread.return t.master
+  else
+    match t.copies.(pid) with
+    | Some v ->
+      Stats.incr (stats t) "repl.local_reads";
+      let* () = Thread.compute local_read_cost in
+      Thread.return v
+    | None ->
+      (* Fetch a replica from the home with an ordinary RPC. *)
+      Stats.incr (stats t) "repl.fetches";
+      let* v =
+        Runtime.call t.rt ~access:Runtime.Rpc ~home:t.home ~args_words:2
+          ~result_words:(t.words_of t.master)
+          (let* () = Thread.compute local_read_cost in
+           Thread.return t.master)
+      in
+      t.copies.(pid) <- Some v;
+      Thread.return v
+
+(* Push the new value to one replica holder: a message plus
+   receive-pipeline work on the holder's CPU when it arrives. *)
+let push_to t ~holder v : unit Thread.t =
+ fun _ctx k ->
+  let machine = Runtime.machine t.rt in
+  let c = machine.Machine.costs in
+  let words = t.words_of v in
+  let (_ : int) =
+    Network.send machine.Machine.net ~src:t.home ~dst:holder ~words ~kind:"repl_update"
+      (fun () ->
+        Machine.spawn machine ~on:holder
+          (let* () = Thread.compute (Costs.recv_pipeline c ~words ~new_thread:true) in
+           t.copies.(holder) <- Some v;
+           Thread.return ()))
+  in
+  k ()
+
+let update t ~access v =
+  let machine = Runtime.machine t.rt in
+  let c = machine.Machine.costs in
+  let words = t.words_of v in
+  Runtime.call t.rt ~access ~home:t.home ~args_words:words ~result_words:1
+    (let holders = ref [] in
+     Array.iteri (fun p copy -> if copy <> None then holders := p :: !holders) t.copies;
+     t.master <- v;
+     t.version <- t.version + 1;
+     Stats.incr (stats t) "repl.updates";
+     (* The home CPU pays one send pipeline per holder — replication's
+        broadcast cost. *)
+     Thread.iter_list
+       (fun holder ->
+         let* () = Thread.compute (Costs.send_pipeline c ~words) in
+         push_to t ~holder v)
+       !holders)
+
+let version t = t.version
+
+let replicas t = Array.fold_left (fun acc c -> if c <> None then acc + 1 else acc) 0 t.copies
+
+let peek t = t.master

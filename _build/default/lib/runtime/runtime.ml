@@ -1,0 +1,144 @@
+open Cm_engine
+open Cm_machine
+open Thread.Infix
+
+type t = { machine : Machine.t }
+
+type access = Rpc | Migrate
+
+let create machine = { machine }
+
+let machine t = t.machine
+
+let access_name = function Rpc -> "rpc" | Migrate -> "migrate"
+
+let costs t = t.machine.Machine.costs
+
+let stats t = t.machine.Machine.stats
+
+let net t = t.machine.Machine.net
+
+(* Raw CPS step: emit the reply message and unblock the caller, then
+   continue (the server thread terminates right after). *)
+let send_reply t ~src ~dst ~words resume r : unit Thread.t =
+ fun _ctx k ->
+  let (_ : int) = Network.send (net t) ~src ~dst ~words ~kind:"rpc_reply" (fun () -> resume r) in
+  k ()
+
+let rpc_call t ~dst ~args_words ~result_words body =
+  let c = costs t in
+  Stats.incr (stats t) "rt.rpc_calls";
+  let* caller = Thread.proc in
+  let caller_id = Processor.id caller in
+  (* Client stub: marshal and send the request, then block. *)
+  let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
+  let* r =
+    Thread.await (fun ~resume ->
+        let (_ : int) =
+          Network.send (net t) ~src:caller_id ~dst ~words:args_words ~kind:"rpc" (fun () ->
+            (* Server stub: a fresh handler thread pays the receive
+               pipeline, runs the method, and replies from wherever the
+               thread ends up (the body may itself migrate). *)
+            Machine.spawn t.machine ~on:dst
+              (let* () =
+                 Thread.compute (Costs.recv_pipeline c ~words:args_words ~new_thread:true)
+               in
+               let* r = body in
+               let* here = Thread.proc in
+               let* () = Thread.compute (Costs.send_pipeline c ~words:result_words) in
+               send_reply t ~src:(Processor.id here) ~dst:caller_id ~words:result_words resume r))
+        in
+        ())
+  in
+  (* Reply reception on the caller: no thread creation, just unblock. *)
+  let* () = Thread.compute (Costs.recv_pipeline c ~words:result_words ~new_thread:false) in
+  Thread.return r
+
+let migrate_call t ~dst ~args_words body =
+  let c = costs t in
+  Stats.incr (stats t) "rt.migrations";
+  (* Sender pipeline: marshal the live variables into the migration
+     message... *)
+  let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
+  (* ...ship the continuation, pay the receive pipeline on arrival... *)
+  let* () =
+    Thread.travel ~net:(net t)
+      ~dst:(Machine.proc t.machine dst)
+      ~words:args_words ~kind:"migrate"
+      ~recv_work:(Costs.recv_pipeline c ~words:args_words ~new_thread:true)
+  in
+  (* ...and keep running there: the access below is local. *)
+  body
+
+let call t ~access ~home ~args_words ~result_words body =
+  let c = costs t in
+  (* The locality check happens on every annotated call, whatever the
+     mechanism — it is not an extra cost of migration (paper S3.2). *)
+  let* () = Thread.compute c.Costs.forwarding_check in
+  let* p = Thread.proc in
+  if Processor.id p = home then begin
+    Stats.incr (stats t) "rt.local_calls";
+    body
+  end
+  else
+    match access with
+    | Rpc -> rpc_call t ~dst:home ~args_words ~result_words body
+    | Migrate -> migrate_call t ~dst:home ~args_words body
+
+let scope t ?(at_base = false) ~result_words body =
+  let c = costs t in
+  let* origin = Thread.proc in
+  let* r = body in
+  let* here = Thread.proc in
+  if at_base || Processor.id here = Processor.id origin then Thread.return r
+  else begin
+    (* The activation migrated away: send its result back to the caller
+       frame waiting at the origin — a single message however many hops
+       the activation made. *)
+    Stats.incr (stats t) "rt.scope_returns";
+    let* () = Thread.compute (Costs.send_pipeline c ~words:result_words) in
+    let* () =
+      Thread.travel ~net:(net t) ~dst:origin ~words:result_words ~kind:"migrate_return"
+        ~recv_work:(Costs.recv_pipeline c ~words:result_words ~new_thread:false)
+    in
+    Thread.return r
+  end
+
+(* Partial-activation support (paper S6): an activation that migrated
+   carrying only part of its live state pulls the rest from its origin
+   with one round trip.  Serving the fetch costs the origin's CPU a
+   handler dispatch plus the copy. *)
+let fetch_residual t ~origin ~words =
+  let c = costs t in
+  Stats.incr (stats t) "rt.residual_fetches";
+  let* p = Thread.proc in
+  if Processor.id p = origin then Thread.return ()
+  else
+    Thread.ignore_m
+      (rpc_call t ~dst:origin ~args_words:2 ~result_words:words
+         (Thread.compute (Costs.copy_packet c ~words)))
+
+let residual_fetches t = Stats.get (stats t) "rt.residual_fetches"
+
+(* Whole-thread migration (paper S2.3): ship the thread's entire stack,
+   permanently relocating it.  No scope bookkeeping applies — there is
+   no caller frame left behind. *)
+let migrate_thread t ~dst ~stack_words =
+  let c = costs t in
+  Stats.incr (stats t) "rt.thread_migrations";
+  let* p = Thread.proc in
+  if Processor.id p = dst then Thread.return ()
+  else
+    let* () = Thread.compute (Costs.send_pipeline c ~words:stack_words) in
+    Thread.travel ~net:(net t)
+      ~dst:(Machine.proc t.machine dst)
+      ~words:stack_words ~kind:"thread_migrate"
+      ~recv_work:(Costs.recv_pipeline c ~words:stack_words ~new_thread:true)
+
+let thread_migrations t = Stats.get (stats t) "rt.thread_migrations"
+
+let migrations t = Stats.get (stats t) "rt.migrations"
+
+let rpc_calls t = Stats.get (stats t) "rt.rpc_calls"
+
+let local_calls t = Stats.get (stats t) "rt.local_calls"

@@ -1,0 +1,104 @@
+(** The Prelude-like runtime: remote access by RPC or computation
+    migration.
+
+    A remote access names a home processor and a body to execute there.
+    Every access first pays the forwarding (locality) check; a local access
+    then runs inline at no further cost — the paper's annotation affects
+    only remote executions.  For a remote access the annotation picks the
+    mechanism:
+
+    {ul
+    {- [Rpc]: the classic client/server stub pipeline.  The caller's CPU
+       marshals and sends a request, the caller blocks; at the server a
+       handler task is dispatched (scheduler), pays the receive pipeline
+       (packet copy, thread creation, linkage, unmarshal, object-id
+       translation, allocation), runs the body, then marshals and sends
+       the reply; the caller pays reply reception and resumes.  Two
+       messages per access; the thread never moves.}
+    {- [Migrate]: computation migration.  The caller's CPU runs the same
+       send pipeline, but the message carries the current activation's
+       live variables — in this simulator, literally the thread's
+       continuation — and the thread {e continues on the server}.  One
+       message per access; subsequent accesses to objects on that
+       processor are local.}}
+
+    {!scope} delimits a migratable procedure activation: if the body ends
+    on a different processor than it started (because accesses inside it
+    migrated), one result message flows back to the origin, where the
+    activation's caller frame lives.  A scope entered [~at_base:true]
+    (the activation sits at the base of its portion of the stack, e.g. an
+    RPC handler) skips that: its result is delivered wherever the thread
+    ends — the paper's short-circuited return. *)
+
+open Cm_machine
+
+type t
+
+type access = Rpc | Migrate
+
+val create : Machine.t -> t
+(** [create machine] is a runtime on [machine]. *)
+
+val machine : t -> Machine.t
+
+val access_name : access -> string
+(** ["rpc"] or ["migrate"]. *)
+
+val call :
+  t ->
+  access:access ->
+  home:int ->
+  args_words:int ->
+  result_words:int ->
+  'r Thread.t ->
+  'r Thread.t
+(** [call t ~access ~home ~args_words ~result_words body] performs a
+    remote access to an object on [home], executing [body] there.
+    [args_words] is the payload of the request (method arguments, or the
+    migrating activation's live variables); [result_words] sizes the RPC
+    reply ([Migrate] sends none).  After the call the thread is back on
+    its original processor under [Rpc], and on [home] under [Migrate]. *)
+
+val scope : t -> ?at_base:bool -> result_words:int -> 'r Thread.t -> 'r Thread.t
+(** [scope t ~result_words body] runs [body] as one procedure activation;
+    see the module description.  [at_base] defaults to [false]. *)
+
+val fetch_residual : t -> origin:int -> words:int -> unit Thread.t
+(** [fetch_residual t ~origin ~words] supports {e partial activation
+    migration} (the paper's §6): a call annotated [Migrate] may carry
+    only part of its live variables (a small [args_words]); if the
+    migrated continuation turns out to need the rest, it fetches the
+    [words]-word residual from [origin] with one request/reply round
+    trip.  Carrying less is a bet: cheaper hops when the residual is
+    never touched, an extra round trip when it is (see the "partial
+    migration" ablation).  A no-op when already at [origin]. *)
+
+val migrate_thread : t -> dst:int -> stack_words:int -> unit Thread.t
+(** [migrate_thread t ~dst ~stack_words] performs whole-thread migration
+    (the paper's §2.3 comparison point): the entire thread — modelled as
+    [stack_words] words of stack state — moves to [dst] and stays there;
+    nothing returns to the source.  Provided to quantify why the
+    activation is the right grain: the state moved per hop is an order
+    of magnitude larger, and the thread's subsequent unrelated work
+    (request loops, think time) now loads the data's processor. *)
+
+(** {1 Statistics}
+
+    Counter names used by the runtime (in the machine's registry):
+    ["rt.local_calls"], ["rt.rpc_calls"], ["rt.migrations"],
+    ["rt.scope_returns"]. *)
+
+val migrations : t -> int
+(** Number of activation migrations performed. *)
+
+val thread_migrations : t -> int
+(** Number of whole-thread migrations performed. *)
+
+val residual_fetches : t -> int
+(** Number of residual-state fetches performed. *)
+
+val rpc_calls : t -> int
+(** Number of RPC round trips performed. *)
+
+val local_calls : t -> int
+(** Number of annotated calls that were satisfied locally. *)

@@ -1,0 +1,1 @@
+lib/workload/detail.ml: Cm_engine Cm_machine Format List Machine Network Processor Stats String

@@ -1,0 +1,1 @@
+lib/workload/detail.mli: Cm_machine Format Machine

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Cm_engine Cm_machine Machine Metrics Network Sim Stats Thread

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Cm_machine Machine Metrics Thread

@@ -1,0 +1,63 @@
+open Cm_engine
+open Cm_machine
+open Thread.Infix
+
+type spec = {
+  requesters : int;
+  first_proc : int;
+  think : int;
+  warmup : int;
+  horizon : int;
+}
+
+let run machine spec request =
+  if spec.requesters <= 0 then invalid_arg "Driver.run: no requesters";
+  if spec.warmup >= spec.horizon then invalid_arg "Driver.run: warmup past horizon";
+  let ops = ref 0 in
+  let latency_sum = ref 0 in
+  let latency_max = ref 0 in
+  let words_at_warmup = ref 0 in
+  let messages_at_warmup = ref 0 in
+  let hits_at_warmup = ref 0 in
+  let misses_at_warmup = ref 0 in
+  let net = machine.Machine.net in
+  let stats = machine.Machine.stats in
+  Sim.at machine.Machine.sim spec.warmup (fun () ->
+      words_at_warmup := Network.total_words net;
+      messages_at_warmup := Network.total_messages net;
+      hits_at_warmup := Stats.get stats "cache.hits";
+      misses_at_warmup := Stats.get stats "cache.misses");
+  for i = 0 to spec.requesters - 1 do
+    Machine.spawn machine ~on:(spec.first_proc + i)
+      (Thread.while_
+         (fun () -> Machine.now machine < spec.horizon)
+         (let started = ref 0 in
+          let note_start : unit Thread.t =
+           fun _ctx k ->
+            started := Machine.now machine;
+            k ()
+          in
+          let* () = note_start in
+          let* () = request i in
+          if Machine.now machine >= spec.warmup then begin
+            incr ops;
+            let latency = Machine.now machine - !started in
+            latency_sum := !latency_sum + latency;
+            if latency > !latency_max then latency_max := latency
+          end;
+          if spec.think > 0 then Thread.sleep spec.think else Thread.return ()))
+  done;
+  Machine.run ~until:spec.horizon machine;
+  let hits = Stats.get stats "cache.hits" - !hits_at_warmup in
+  let misses = Stats.get stats "cache.misses" - !misses_at_warmup in
+  let accesses = hits + misses in
+  Metrics.compute ~ops:!ops
+    ~measured_cycles:(spec.horizon - spec.warmup)
+    ~words:(Network.total_words net - !words_at_warmup)
+    ~messages:(Network.total_messages net - !messages_at_warmup)
+    ~cache_hit_rate:
+      (if accesses = 0 then nan else float_of_int hits /. float_of_int accesses)
+    ~mean_latency:(if !ops = 0 then nan else float_of_int !latency_sum /. float_of_int !ops)
+    ~max_latency:!latency_max ()
+(* A machine without a cache-coherent memory system reports [nan]: the
+   cache counters live in the machine's shared statistics registry. *)

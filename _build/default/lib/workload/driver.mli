@@ -1,0 +1,24 @@
+(** Closed-loop request drivers.
+
+    Reproduces the paper's measurement setup: a fixed set of requester
+    threads, each on its own processor, repeatedly issuing a request and
+    then "thinking" for a fixed number of cycles (0 or 10 000 in the
+    paper).  The run lasts a fixed horizon of cycles; operations and
+    network traffic are counted inside a measurement window that starts
+    after an optional warmup (letting caches and replicas fill). *)
+
+open Cm_machine
+
+type spec = {
+  requesters : int;  (** number of requester threads *)
+  first_proc : int;  (** requester [i] runs on processor [first_proc + i] *)
+  think : int;  (** cycles between a completion and the next request *)
+  warmup : int;  (** cycles before the measurement window opens *)
+  horizon : int;  (** total simulated cycles *)
+}
+
+val run : Machine.t -> spec -> (int -> unit Thread.t) -> Metrics.t
+(** [run machine spec request] drives [spec.requesters] threads, thread
+    [i] repeatedly running [request i] until the horizon, and returns the
+    window's metrics.  [request i] must be one complete operation
+    (synchronous; its completion is the unit counted). *)

@@ -1,0 +1,30 @@
+type t = {
+  ops : int;
+  measured_cycles : int;
+  words : int;
+  messages : int;
+  throughput : float;
+  bandwidth : float;
+  cache_hit_rate : float;
+  mean_latency : float;
+  max_latency : int;
+}
+
+let compute ~ops ~measured_cycles ~words ~messages ~cache_hit_rate ?(mean_latency = nan)
+    ?(max_latency = 0) () =
+  let cycles = float_of_int (max 1 measured_cycles) in
+  {
+    ops;
+    measured_cycles;
+    words;
+    messages;
+    throughput = 1000. *. float_of_int ops /. cycles;
+    bandwidth = 10. *. float_of_int words /. cycles;
+    cache_hit_rate;
+    mean_latency;
+    max_latency;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%d ops in %d cycles: %.4f ops/1000cyc, %.2f words/10cyc (%d msgs)" t.ops
+    t.measured_cycles t.throughput t.bandwidth t.messages

@@ -1,0 +1,28 @@
+(** Results of one measured run, in the paper's units. *)
+
+type t = {
+  ops : int;  (** requests completed inside the measurement window *)
+  measured_cycles : int;  (** window length *)
+  words : int;  (** network words injected inside the window *)
+  messages : int;  (** messages injected inside the window *)
+  throughput : float;  (** operations per 1000 cycles (Figures 2, Tables 1/3) *)
+  bandwidth : float;  (** words per 10 cycles (Figure 3, Tables 2/4) *)
+  cache_hit_rate : float;  (** machine-wide, [nan] when no cache was used *)
+  mean_latency : float;  (** mean per-operation latency in cycles ([nan] if untracked) *)
+  max_latency : int;  (** worst per-operation latency observed (0 if untracked) *)
+}
+
+val compute :
+  ops:int ->
+  measured_cycles:int ->
+  words:int ->
+  messages:int ->
+  cache_hit_rate:float ->
+  ?mean_latency:float ->
+  ?max_latency:int ->
+  unit ->
+  t
+(** Derive the rates from raw counts. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering. *)

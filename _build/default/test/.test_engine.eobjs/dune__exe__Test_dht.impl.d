@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Array Cm_apps Cm_core Cm_machine Costs Dht Gen Hashtbl List Machine Network Printf Processor QCheck QCheck_alcotest Sysenv Thread

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Cm_engine Float Gen Heap List QCheck QCheck_alcotest Rng Sim Stats Trace

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cm_engine Cm_machine Costs List Machine Network Printf Processor QCheck QCheck_alcotest Sim Stats String Thread Topology

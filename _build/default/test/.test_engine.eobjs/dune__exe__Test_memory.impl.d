@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Cache Cm_engine Cm_machine Cm_memory Costs Gen List Lock Machine Network Printf Processor QCheck QCheck_alcotest Rwlock Shmem Stats Thread

@@ -1,0 +1,52 @@
+(* Standalone reproduction driver for B-tree invariant debugging. *)
+
+open Cm_machine
+open Cm_apps
+open Thread.Infix
+
+let () =
+  let mode_name = try Sys.argv.(1) with _ -> "rpc" in
+  let repl = try Sys.argv.(2) = "repl" with _ -> false in
+  let mode =
+    match mode_name with
+    | "rpc" -> Btree.Messaging Cm_core.Prelude.Rpc
+    | "migrate" -> Btree.Messaging Cm_core.Prelude.Migrate
+    | "sm" -> Btree.Shared_memory
+    | _ -> failwith "mode?"
+  in
+  let n_procs = 24 in
+  let e = Sysenv.make (Machine.create ~seed:5 ~n_procs ~costs:Costs.software ()) in
+  let tree =
+    Btree.create e ~mode ~fanout:4 ~replicate_root:repl
+      ~node_procs:(Array.init (n_procs / 2) (fun i -> i))
+      ~keys:[ 500000 ] ()
+  in
+  let per_thread = 30 and threads = 8 in
+  for th = 0 to threads - 1 do
+    Machine.spawn e.Sysenv.machine ~on:(12 + th)
+      (Thread.repeat per_thread (fun i ->
+           let* _ = Btree.insert tree ((th * 1009) + (i * 131)) in
+           Thread.return ()))
+  done;
+  Machine.run e.Sysenv.machine;
+  let expect =
+    List.sort_uniq compare
+      (500000
+      :: List.concat_map
+           (fun th -> List.init per_thread (fun i -> (th * 1009) + (i * 131)))
+           (List.init threads (fun th -> th)))
+  in
+  let got = Btree.all_keys tree in
+  Printf.printf "keys ok: %b (expect %d got %d)\n" (expect = got) (List.length expect)
+    (List.length got);
+  (match Btree.check_invariants tree with
+  | Ok () -> print_endline "invariants ok"
+  | Error e -> Printf.printf "INVARIANT: %s\n" e);
+  Printf.printf "height=%d splits=%d root_children=%d\n" (Btree.height tree) (Btree.splits tree)
+    (Btree.root_children tree);
+  if Array.length Sys.argv > 3 && Sys.argv.(3) = "dump" then print_string (Btree.dump tree);
+  List.iter
+    (fun (k, v) ->
+      if String.length k > 5 && String.sub k 0 5 = "btree" then Printf.printf "%s=%d\n" k v)
+    (Cm_engine.Stats.counters e.Sysenv.machine.Machine.stats)
+

@@ -1,0 +1,420 @@
+(* Tests for the discrete-event simulation core: Heap, Rng, Stats, Sim. *)
+
+open Cm_engine
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let int_heap () = Heap.create ~cmp:compare
+
+let test_heap_empty () =
+  let h = int_heap () in
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_heap_order () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ] (Heap.to_sorted_list h);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_duplicates () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 4; 4; 4; 1; 1 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 4; 4; 4 ] (Heap.to_sorted_list h)
+
+let test_heap_pop_exn () =
+  let h = int_heap () in
+  Alcotest.check_raises "empty pop_exn" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Heap.push h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Heap.pop h)
+
+let test_heap_interleaved () =
+  let h = int_heap () in
+  Heap.push h 10;
+  Heap.push h 5;
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop h);
+  Heap.push h 1;
+  Heap.push h 20;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 10" (Some 10) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 20" (Some 20) (Heap.pop h)
+
+let test_heap_iter_counts () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  let sum = ref 0 in
+  Heap.iter (fun x -> sum := !sum + x) h;
+  Alcotest.(check int) "iter visits all" 6 !sum
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drain = List.sort" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_min =
+  QCheck.Test.make ~name:"heap peek is minimum" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      Heap.peek h = Some (List.fold_left min (List.hd xs) xs))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let equal = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int64 a = Rng.int64 b then incr equal
+  done;
+  Alcotest.(check bool) "streams differ" true (!equal < 5)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_bound_one () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Rng.int r 1)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create ~seed:3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:11 in
+  let child = Rng.split parent in
+  (* The child stream must not coincide with the parent's continued
+     stream. *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int64 parent = Rng.int64 child then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 5)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:13 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pick () =
+  let r = Rng.create ~seed:17 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick r a in
+    Alcotest.(check bool) "picked member" true (Array.exists (( = ) v) a)
+  done
+
+let prop_rng_int_uniformish =
+  QCheck.Test.make ~name:"rng int covers range" ~count:20
+    QCheck.(int_range 2 20)
+    (fun bound ->
+      let r = Rng.create ~seed:(bound * 31) in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Rng.int r bound) <- true
+      done;
+      Array.for_all (fun b -> b) seen)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Alcotest.(check int) "default 0" 0 (Stats.get s "x");
+  Stats.incr s "x";
+  Stats.incr s "x";
+  Stats.add s "x" 5;
+  Alcotest.(check int) "accumulated" 7 (Stats.get s "x");
+  Stats.add s "y" (-3);
+  Alcotest.(check int) "negative ok" (-3) (Stats.get s "y")
+
+let test_stats_listing () =
+  let s = Stats.create () in
+  Stats.add s "b" 2;
+  Stats.add s "a" 1;
+  Alcotest.(check (list (pair string int))) "sorted" [ ("a", 1); ("b", 2) ] (Stats.counters s)
+
+let test_stats_distribution () =
+  let s = Stats.create () in
+  List.iter (Stats.observe s "d") [ 1.0; 5.0; 3.0 ];
+  let sum = Stats.summary s "d" in
+  Alcotest.(check int) "count" 3 sum.Stats.count;
+  Alcotest.(check (float 1e-9)) "sum" 9.0 sum.Stats.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 sum.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 sum.Stats.max;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean s "d")
+
+let test_stats_mean_empty () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "nan mean" true (Float.is_nan (Stats.mean s "none"))
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a "c" 1;
+  Stats.add b "c" 2;
+  Stats.add b "only_b" 4;
+  Stats.observe a "d" 1.0;
+  Stats.observe b "d" 9.0;
+  Stats.merge_into ~dst:a b;
+  Alcotest.(check int) "merged counter" 3 (Stats.get a "c");
+  Alcotest.(check int) "new counter" 4 (Stats.get a "only_b");
+  let s = Stats.summary a "d" in
+  Alcotest.(check int) "merged dist count" 2 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "merged max" 9.0 s.Stats.max
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let mark tag () = log := tag :: !log in
+  Sim.at sim 30 (mark "c");
+  Sim.at sim 10 (mark "a");
+  Sim.at sim 20 (mark "b");
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Sim.now sim)
+
+let test_sim_fifo_same_time () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.at sim 10 (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_after_relative () =
+  let sim = Sim.create () in
+  let fired_at = ref (-1) in
+  Sim.after sim 5 (fun () ->
+      Sim.after sim 7 (fun () -> fired_at := Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check int) "nested relative" 12 !fired_at
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  Sim.after sim 10 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Sim.at: time 3 is before now (10)")
+        (fun () -> Sim.at sim 3 ignore));
+  Sim.run sim
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Sim.at sim (i * 10) (fun () -> incr count)
+  done;
+  Sim.run ~until:55 sim;
+  Alcotest.(check int) "events before horizon" 5 !count;
+  Alcotest.(check int) "clock stops at horizon" 55 (Sim.now sim);
+  Alcotest.(check int) "rest still pending" 5 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "resume finishes" 10 !count
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.at sim 1 (fun () -> incr count);
+  Sim.at sim 2 (fun () -> raise Sim.Stop);
+  Sim.at sim 3 (fun () -> incr count);
+  Sim.run sim;
+  Alcotest.(check int) "stopped early" 1 !count
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.at sim 1 (fun () -> incr count);
+  Sim.at sim 2 (fun () -> incr count);
+  Alcotest.(check bool) "step fires" true (Sim.step sim);
+  Alcotest.(check int) "one fired" 1 !count;
+  Alcotest.(check bool) "step fires" true (Sim.step sim);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim);
+  Alcotest.(check int) "events_fired" 2 (Sim.events_fired sim)
+
+let prop_sim_fires_in_order =
+  QCheck.Test.make ~name:"sim fires in nondecreasing time order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (int_range 0 1000))
+    (fun times ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iter (fun t -> Sim.at sim t (fun () -> fired := Sim.now sim :: !fired)) times;
+      Sim.run sim;
+      let fired = List.rev !fired in
+      fired = List.sort compare times)
+
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_levels () =
+  Trace.set_level Trace.Quiet;
+  Alcotest.(check bool) "quiet disables events" false (Trace.enabled Trace.Events);
+  Alcotest.(check bool) "quiet disables debug" false (Trace.enabled Trace.Debug);
+  Trace.set_level Trace.Events;
+  Alcotest.(check bool) "events enabled" true (Trace.enabled Trace.Events);
+  Alcotest.(check bool) "debug still off" false (Trace.enabled Trace.Debug);
+  Trace.set_level Trace.Debug;
+  Alcotest.(check bool) "debug enables events too" true (Trace.enabled Trace.Events);
+  Alcotest.(check bool) "level readable" true (Trace.level () = Trace.Debug);
+  Trace.set_level Trace.Quiet
+
+let test_trace_emit_lazy () =
+  Trace.set_level Trace.Quiet;
+  let evaluated = ref false in
+  Trace.emit Trace.Events (fun () ->
+      evaluated := true;
+      "should not run");
+  Alcotest.(check bool) "closure not evaluated when off" false !evaluated
+
+(* ------------------------------------------------------------------ *)
+(* Heap / Sim edges                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_large_grow () =
+  let h = Heap.create ~cmp:compare in
+  for i = 1000 downto 1 do
+    Heap.push h i
+  done;
+  Alcotest.(check int) "all present" 1000 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.peek h);
+  let drained = Heap.to_sorted_list h in
+  Alcotest.(check int) "drained all" 1000 (List.length drained);
+  Alcotest.(check (option int)) "sorted ends" (Some 1000)
+    (List.nth_opt drained 999)
+
+let test_sim_schedule_inside_handler () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.at sim 10 (fun () ->
+      fired := 10 :: !fired;
+      (* Scheduling for the current instant is allowed and fires after
+         the running handler. *)
+      Sim.after sim 0 (fun () -> fired := 100 :: !fired);
+      Sim.after sim 5 (fun () -> fired := 15 :: !fired));
+  Sim.run sim;
+  Alcotest.(check (list int)) "nested events fire in order" [ 10; 100; 15 ] (List.rev !fired)
+
+let prop_stats_merge_commutes_on_counters =
+  QCheck.Test.make ~name:"stats merge accumulates counters" ~count:50
+    QCheck.(pair (list (pair (string_of_size (Gen.return 3)) small_int))
+              (list (pair (string_of_size (Gen.return 3)) small_int)))
+    (fun (a_ops, b_ops) ->
+      let a = Stats.create () and b = Stats.create () in
+      List.iter (fun (k, v) -> Stats.add a k v) a_ops;
+      List.iter (fun (k, v) -> Stats.add b k v) b_ops;
+      Stats.merge_into ~dst:a b;
+      List.for_all
+        (fun (k, _) ->
+          let expect =
+            List.fold_left (fun acc (k2, v) -> if k2 = k then acc + v else acc) 0 (a_ops @ b_ops)
+          in
+          Stats.get a k = expect)
+        (a_ops @ b_ops))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite props = List.map QCheck_alcotest.to_alcotest props
+
+let () =
+  Alcotest.run "cm_engine"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "iter" `Quick test_heap_iter_counts;
+        ]
+        @ qsuite [ prop_heap_sorts; prop_heap_min ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int bound one" `Quick test_rng_int_bound_one;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick member" `Quick test_rng_pick;
+        ]
+        @ qsuite [ prop_rng_int_uniformish ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "listing" `Quick test_stats_listing;
+          Alcotest.test_case "distribution" `Quick test_stats_distribution;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "levels" `Quick test_trace_levels;
+          Alcotest.test_case "lazy emit" `Quick test_trace_emit_lazy;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "heap large grow" `Quick test_heap_large_grow;
+          Alcotest.test_case "sim nested scheduling" `Quick test_sim_schedule_inside_handler;
+        ]
+        @ qsuite [ prop_stats_merge_commutes_on_counters ] );
+      ( "sim",
+        [
+          Alcotest.test_case "order" `Quick test_sim_order;
+          Alcotest.test_case "fifo ties" `Quick test_sim_fifo_same_time;
+          Alcotest.test_case "after relative" `Quick test_sim_after_relative;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "until horizon" `Quick test_sim_until;
+          Alcotest.test_case "stop" `Quick test_sim_stop;
+          Alcotest.test_case "step" `Quick test_sim_step;
+        ]
+        @ qsuite [ prop_sim_fires_in_order ] );
+    ]

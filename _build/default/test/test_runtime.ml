@@ -1,0 +1,986 @@
+(* Tests for the Prelude-like runtime: Objspace, Runtime (RPC and
+   computation migration), Replicate, and the Prelude facade — including
+   the paper's Figure 1 message-count model, which the simulator must
+   reproduce exactly. *)
+
+open Cm_engine
+open Cm_machine
+open Cm_runtime
+open Cm_core
+open Thread.Infix
+
+let costs = Costs.software
+
+let machine ?(n = 8) () = Machine.create ~seed:3 ~n_procs:n ~costs ()
+
+let run_thread ?(on = 0) m body =
+  let finished = ref false in
+  Machine.spawn m ~on ~on_exit:(fun () -> finished := true) body;
+  Machine.run m;
+  Alcotest.(check bool) "thread finished" true !finished
+
+(* ------------------------------------------------------------------ *)
+(* Objspace                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_objspace_register () =
+  let m = machine () in
+  let space = Objspace.create m in
+  let a = Objspace.register space ~home:2 "alpha" in
+  let b = Objspace.register space ~home:5 "beta" in
+  Alcotest.(check int) "a home" 2 (Objspace.home space a);
+  Alcotest.(check int) "b home" 5 (Objspace.home space b);
+  Alcotest.(check string) "a state" "alpha" (Objspace.state space a);
+  Alcotest.(check string) "b state" "beta" (Objspace.state space b);
+  Alcotest.(check int) "count" 2 (Objspace.count space)
+
+let test_objspace_bad_home () =
+  let m = machine () in
+  let space = Objspace.create m in
+  Alcotest.check_raises "bad home" (Invalid_argument "Objspace.register: bad home processor")
+    (fun () -> ignore (Objspace.register space ~home:99 ()))
+
+let test_objspace_unknown () =
+  let m = machine () in
+  let space = Objspace.create m in
+  ignore (Objspace.register space ~home:0 ());
+  Alcotest.check_raises "unknown id" (Invalid_argument "Objspace: unknown object 7") (fun () ->
+      ignore (Objspace.home space (Objspace.id_of_int 7)))
+
+let test_objspace_iter () =
+  let m = machine () in
+  let space = Objspace.create m in
+  for i = 0 to 4 do
+    ignore (Objspace.register space ~home:i (i * 10))
+  done;
+  let sum = ref 0 in
+  Objspace.iter (fun _ home state -> sum := !sum + home + state) space;
+  Alcotest.(check int) "visited all" (10 + 100) !sum
+
+
+let test_objspace_growth () =
+  let m = machine () in
+  let space = Objspace.create m in
+  let ids = List.init 100 (fun i -> Objspace.register space ~home:(i mod 8) (i * 2)) in
+  Alcotest.(check int) "count" 100 (Objspace.count space);
+  List.iteri
+    (fun i id ->
+      Alcotest.(check int) "home survives growth" (i mod 8) (Objspace.home space id);
+      Alcotest.(check int) "state survives growth" (i * 2) (Objspace.state space id))
+    ids
+
+let test_prelude_proc_at_base () =
+  let m = machine () in
+  let p = Prelude.create m in
+  let obj = Prelude.make_obj p ~home:5 () in
+  let ended_on = ref (-1) in
+  run_thread ~on:0 m
+    (let* () =
+       Prelude.proc p ~at_base:true
+         (Prelude.invoke p ~access:Prelude.Migrate obj (fun () -> Thread.return ()))
+     in
+     let* pr = Thread.proc in
+     ended_on := Processor.id pr;
+     Thread.return ());
+  Alcotest.(check int) "base scope stays remote" 5 !ended_on
+
+let test_prelude_defaults () =
+  Alcotest.(check int) "args default 8 words (32 bytes)" 8 Prelude.default_args_words;
+  Alcotest.(check int) "result default 2 words" 2 Prelude.default_result_words
+
+let test_prelude_obj_home () =
+  let m = machine () in
+  let p = Prelude.create m in
+  let o = Prelude.make_obj p ~home:6 "payload" in
+  Alcotest.(check int) "home" 6 (Prelude.obj_home o);
+  Alcotest.(check string) "state" "payload" (Prelude.obj_state o)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime.call                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_call_local_no_messages () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let ran = ref false in
+  run_thread ~on:3 m
+    (Runtime.call rt ~access:Runtime.Rpc ~home:3 ~args_words:8 ~result_words:2
+       (Thread.return (ran := true)));
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check int) "no messages" 0 (Network.total_messages m.Machine.net);
+  Alcotest.(check int) "local call counted" 1 (Runtime.local_calls rt)
+
+let test_call_rpc_two_messages () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let body_ran_on = ref (-1) and ended_on = ref (-1) in
+  run_thread ~on:0 m
+    (let* r =
+       Runtime.call rt ~access:Runtime.Rpc ~home:5 ~args_words:8 ~result_words:2
+         (let* p = Thread.proc in
+          body_ran_on := Processor.id p;
+          Thread.return 99)
+     in
+     Alcotest.(check int) "result returned" 99 r;
+     let* p = Thread.proc in
+     ended_on := Processor.id p;
+     Thread.return ());
+  Alcotest.(check int) "body at home" 5 !body_ran_on;
+  Alcotest.(check int) "caller stays put" 0 !ended_on;
+  Alcotest.(check int) "request message" 1 (Network.messages_of_kind m.Machine.net "rpc");
+  Alcotest.(check int) "reply message" 1 (Network.messages_of_kind m.Machine.net "rpc_reply");
+  Alcotest.(check int) "total 2" 2 (Network.total_messages m.Machine.net);
+  Alcotest.(check int) "rpc counted" 1 (Runtime.rpc_calls rt)
+
+let test_call_rpc_uses_server_cpu () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  run_thread ~on:0 m
+    (Thread.ignore_m
+       (Runtime.call rt ~access:Runtime.Rpc ~home:5 ~args_words:8 ~result_words:2
+          (Thread.compute 150)));
+  (* Server CPU: dispatch + receive pipeline + user code + reply send. *)
+  let expect =
+    costs.Costs.scheduler
+    + Costs.recv_pipeline costs ~words:8 ~new_thread:true
+    + 150
+    + Costs.send_pipeline costs ~words:2
+  in
+  Alcotest.(check int) "server cycles" expect (Processor.busy_cycles (Machine.proc m 5))
+
+let test_call_migrate_one_message_and_moves () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let ended_on = ref (-1) in
+  run_thread ~on:0 m
+    (let* () =
+       Runtime.call rt ~access:Runtime.Migrate ~home:5 ~args_words:8 ~result_words:2
+         (Thread.return ())
+     in
+     let* p = Thread.proc in
+     ended_on := Processor.id p;
+     Thread.return ());
+  Alcotest.(check int) "thread moved to home" 5 !ended_on;
+  Alcotest.(check int) "single message" 1 (Network.total_messages m.Machine.net);
+  Alcotest.(check int) "migration counted" 1 (Runtime.migrations rt)
+
+let test_call_migrate_subsequent_local () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  run_thread ~on:0 m
+    (Thread.repeat 5 (fun _ ->
+         Thread.ignore_m
+           (Runtime.call rt ~access:Runtime.Migrate ~home:5 ~args_words:8 ~result_words:2
+              (Thread.return ()))));
+  (* First access migrates; the other four are local. *)
+  Alcotest.(check int) "one migration" 1 (Runtime.migrations rt);
+  Alcotest.(check int) "four local" 4 (Runtime.local_calls rt);
+  Alcotest.(check int) "one message" 1 (Network.total_messages m.Machine.net)
+
+let test_scope_returns_home () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let ended_on = ref (-1) in
+  run_thread ~on:0 m
+    (let* r =
+       Runtime.scope rt ~result_words:2
+         (let* () =
+            Runtime.call rt ~access:Runtime.Migrate ~home:4 ~args_words:8 ~result_words:2
+              (Thread.return ())
+          in
+          Thread.return 7)
+     in
+     Alcotest.(check int) "scope result" 7 r;
+     let* p = Thread.proc in
+     ended_on := Processor.id p;
+     Thread.return ());
+  Alcotest.(check int) "back at origin" 0 !ended_on;
+  Alcotest.(check int) "migrate + return" 2 (Network.total_messages m.Machine.net);
+  Alcotest.(check int) "return message kind" 1
+    (Network.messages_of_kind m.Machine.net "migrate_return")
+
+let test_scope_at_base_short_circuits () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let ended_on = ref (-1) in
+  run_thread ~on:0 m
+    (let* () =
+       Runtime.scope rt ~at_base:true ~result_words:2
+         (Runtime.call rt ~access:Runtime.Migrate ~home:4 ~args_words:8 ~result_words:2
+            (Thread.return ()))
+     in
+     let* p = Thread.proc in
+     ended_on := Processor.id p;
+     Thread.return ());
+  Alcotest.(check int) "stays at destination" 4 !ended_on;
+  Alcotest.(check int) "no return message" 1 (Network.total_messages m.Machine.net)
+
+let test_scope_local_body_free () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  run_thread ~on:2 m (Thread.ignore_m (Runtime.scope rt ~result_words:2 (Thread.return 1)));
+  Alcotest.(check int) "no messages for local scope" 0 (Network.total_messages m.Machine.net)
+
+let test_rpc_handler_migrates_reply_short_circuit () =
+  (* An RPC whose handler migrates: the reply must flow directly from the
+     final processor to the caller (one rpc, one migrate, one reply). *)
+  let m = machine () in
+  let rt = Runtime.create m in
+  let got = ref (-1) in
+  run_thread ~on:0 m
+    (let* r =
+       Runtime.call rt ~access:Runtime.Rpc ~home:3 ~args_words:8 ~result_words:2
+         (let* () =
+            Runtime.call rt ~access:Runtime.Migrate ~home:6 ~args_words:8 ~result_words:2
+              (Thread.return ())
+          in
+          let* p = Thread.proc in
+          Thread.return (Processor.id p))
+     in
+     got := r;
+     Thread.return ());
+  Alcotest.(check int) "handler finished on 6" 6 !got;
+  Alcotest.(check int) "one rpc request" 1 (Network.messages_of_kind m.Machine.net "rpc");
+  Alcotest.(check int) "one migration" 1 (Network.messages_of_kind m.Machine.net "migrate");
+  Alcotest.(check int) "one direct reply" 1 (Network.messages_of_kind m.Machine.net "rpc_reply");
+  Alcotest.(check int) "nothing else" 3 (Network.total_messages m.Machine.net)
+
+let test_migration_cheaper_than_rpc_roundtrip () =
+  (* End-to-end latency of one remote access + one piece of user code:
+     migration saves the reply leg. *)
+  let one access =
+    let m = machine () in
+    let rt = Runtime.create m in
+    let finished = ref 0 in
+    run_thread ~on:0 m
+      (let* () =
+         Thread.ignore_m
+           (Runtime.call rt ~access ~home:5 ~args_words:8 ~result_words:2 (Thread.compute 150))
+       in
+       finished := Machine.now m;
+       Thread.return ());
+    !finished
+  in
+  let rpc = one Runtime.Rpc and mig = one Runtime.Migrate in
+  Alcotest.(check bool) (Printf.sprintf "migrate (%d) < rpc (%d)" mig rpc) true (mig < rpc)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: message-count model                                      *)
+(*                                                                    *)
+(* One thread on P0 makes n consecutive accesses to each of m data     *)
+(* items on processors 1..m.  The paper's model:                      *)
+(*   RPC: 2nm messages    CP: m + 1    data migration: 2m             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_runtime_messages ~access ~n ~m =
+  let mach = Machine.create ~seed:1 ~n_procs:(m + 1) ~costs () in
+  let rt = Runtime.create mach in
+  run_thread ~on:0 mach
+    (Runtime.scope rt ~result_words:2
+       (Thread.iter_list
+          (fun item ->
+            Thread.repeat n (fun _ ->
+                Thread.ignore_m
+                  (Runtime.call rt ~access ~home:item ~args_words:8 ~result_words:2
+                     (Thread.compute 10))))
+          (List.init m (fun i -> i + 1))));
+  Network.total_messages mach.Machine.net
+
+let fig1_shmem_messages ~n ~m =
+  let mach = Machine.create ~seed:1 ~n_procs:(m + 1) ~costs () in
+  let mem = Cm_memory.Shmem.create mach in
+  let addrs = List.init m (fun i -> Cm_memory.Shmem.alloc mem ~home:(i + 1) ~words:1) in
+  run_thread ~on:0 mach
+    (Thread.iter_list
+       (fun a ->
+         Thread.repeat n (fun _ ->
+             let* _ = Cm_memory.Shmem.read mem a in
+             Thread.compute 10))
+       addrs);
+  Network.total_messages mach.Machine.net
+
+let test_fig1_rpc_2nm () =
+  List.iter
+    (fun (n, m) ->
+      Alcotest.(check int)
+        (Printf.sprintf "RPC n=%d m=%d" n m)
+        (2 * n * m)
+        (fig1_runtime_messages ~access:Runtime.Rpc ~n ~m))
+    [ (1, 1); (3, 4); (5, 7) ]
+
+let test_fig1_cp_m_plus_1 () =
+  List.iter
+    (fun (n, m) ->
+      Alcotest.(check int)
+        (Printf.sprintf "CP n=%d m=%d" n m)
+        (m + 1)
+        (fig1_runtime_messages ~access:Runtime.Migrate ~n ~m))
+    [ (1, 1); (3, 4); (5, 7) ]
+
+let test_fig1_data_migration_2m () =
+  List.iter
+    (fun (n, m) ->
+      Alcotest.(check int)
+        (Printf.sprintf "DM n=%d m=%d" n m)
+        (2 * m)
+        (fig1_shmem_messages ~n ~m))
+    [ (1, 1); (3, 4); (5, 7) ]
+
+
+(* Closed-form message model for an arbitrary mixed sequence of calls
+   within one scope: a local call is free; a remote RPC costs 2 messages
+   and leaves the thread in place; a remote migration costs 1 message
+   and moves the thread; a scope ending away from its origin costs one
+   return message.  The simulator must match this exactly for any
+   sequence. *)
+let mixed_sequence_model ~origin calls =
+  let messages = ref 0 in
+  let loc = ref origin in
+  List.iter
+    (fun (home, access) ->
+      if home <> !loc then
+        match access with
+        | Runtime.Rpc -> messages := !messages + 2
+        | Runtime.Migrate ->
+          incr messages;
+          loc := home)
+    calls;
+  if !loc <> origin then incr messages;
+  !messages
+
+let prop_mixed_sequence_messages =
+  QCheck.Test.make ~name:"message count of any mixed call sequence matches the model" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 25) (pair (int_range 0 7) bool))
+    (fun spec ->
+      let calls =
+        List.map (fun (home, rpc) -> (home, if rpc then Runtime.Rpc else Runtime.Migrate)) spec
+      in
+      let m = machine () in
+      let rt = Runtime.create m in
+      Machine.spawn m ~on:0
+        (Runtime.scope rt ~result_words:2
+           (Thread.iter_list
+              (fun (home, access) ->
+                Thread.ignore_m
+                  (Runtime.call rt ~access ~home ~args_words:8 ~result_words:2
+                     (Thread.compute 5)))
+              calls));
+      Machine.run m;
+      Network.total_messages m.Machine.net = mixed_sequence_model ~origin:0 calls)
+
+let prop_scope_always_returns_to_origin =
+  QCheck.Test.make ~name:"a scoped activation always ends at its origin" ~count:60
+    QCheck.(pair (int_range 0 7) (list_of_size Gen.(1 -- 15) (pair (int_range 0 7) bool)))
+    (fun (origin, spec) ->
+      let m = machine () in
+      let rt = Runtime.create m in
+      let ended = ref (-1) in
+      Machine.spawn m ~on:origin
+        (let open Thread.Infix in
+         let* () =
+           Runtime.scope rt ~result_words:2
+             (Thread.iter_list
+                (fun (home, rpc) ->
+                  Thread.ignore_m
+                    (Runtime.call rt
+                       ~access:(if rpc then Runtime.Rpc else Runtime.Migrate)
+                       ~home ~args_words:8 ~result_words:2 (Thread.compute 3)))
+                spec)
+         in
+         let* p = Thread.proc in
+         ended := Processor.id p;
+         Thread.return ());
+      Machine.run m;
+      !ended = origin)
+
+let prop_rpc_never_moves_thread =
+  QCheck.Test.make ~name:"rpc never changes the caller's processor" ~count:40
+    QCheck.(list_of_size Gen.(1 -- 10) (int_range 0 7))
+    (fun homes ->
+      let m = machine () in
+      let rt = Runtime.create m in
+      let stayed = ref true in
+      Machine.spawn m ~on:2
+        (let open Thread.Infix in
+         Thread.iter_list
+           (fun home ->
+             let* () =
+               Thread.ignore_m
+                 (Runtime.call rt ~access:Runtime.Rpc ~home ~args_words:8 ~result_words:2
+                    (Thread.compute 3))
+             in
+             let* p = Thread.proc in
+             if Processor.id p <> 2 then stayed := false;
+             Thread.return ())
+           homes);
+      Machine.run m;
+      !stayed)
+
+let prop_fig1_cp_never_more_messages =
+  QCheck.Test.make ~name:"CP messages <= RPC messages for any n,m" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 1 6))
+    (fun (n, m) ->
+      fig1_runtime_messages ~access:Runtime.Migrate ~n ~m
+      <= fig1_runtime_messages ~access:Runtime.Rpc ~n ~m)
+
+
+
+let test_thread_migration_moves_permanently () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let ended_on = ref (-1) in
+  run_thread ~on:0 m
+    (let* () = Runtime.migrate_thread rt ~dst:6 ~stack_words:128 in
+     let* p = Thread.proc in
+     ended_on := Processor.id p;
+     Thread.return ());
+  Alcotest.(check int) "thread relocated" 6 !ended_on;
+  Alcotest.(check int) "counted" 1 (Runtime.thread_migrations rt);
+  (* One big message: 128 payload + 2 header words. *)
+  Alcotest.(check int) "stack words on the wire" 130 (Network.total_words m.Machine.net)
+
+let test_thread_migration_local_noop () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  run_thread ~on:2 m (Runtime.migrate_thread rt ~dst:2 ~stack_words:64);
+  Alcotest.(check int) "no message" 0 (Network.total_messages m.Machine.net)
+
+let test_thread_migration_heavier_than_activation () =
+  let words_of mech =
+    let m = machine () in
+    let rt = Runtime.create m in
+    run_thread ~on:0 m
+      (match mech with
+      | `Thread -> Runtime.migrate_thread rt ~dst:5 ~stack_words:256
+      | `Activation ->
+        Thread.ignore_m
+          (Runtime.call rt ~access:Runtime.Migrate ~home:5 ~args_words:8 ~result_words:2
+             (Thread.return ())));
+    Network.total_words m.Machine.net
+  in
+  Alcotest.(check bool) "whole thread much heavier" true
+    (words_of `Thread > 10 * words_of `Activation)
+
+
+let test_fetch_residual_round_trip () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  run_thread ~on:0 m
+    (let* () =
+       Runtime.call rt ~access:Runtime.Migrate ~home:4 ~args_words:4 ~result_words:2
+         (Thread.return ())
+     in
+     Runtime.fetch_residual rt ~origin:0 ~words:16);
+  Alcotest.(check int) "one fetch" 1 (Runtime.residual_fetches rt);
+  (* migrate + fetch request + fetch reply *)
+  Alcotest.(check int) "three messages" 3 (Network.total_messages m.Machine.net);
+  (* The reply carries the 16-word residual. *)
+  Alcotest.(check bool) "residual words on the wire" true
+    (Network.words_of_kind m.Machine.net "rpc_reply" >= 16)
+
+let test_fetch_residual_local_noop () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  run_thread ~on:3 m (Runtime.fetch_residual rt ~origin:3 ~words:16);
+  Alcotest.(check int) "no messages" 0 (Network.total_messages m.Machine.net)
+
+let test_partial_carry_saves_words_when_unused () =
+  let words carried =
+    let m = machine () in
+    let rt = Runtime.create m in
+    run_thread ~on:0 m
+      (Runtime.scope rt ~result_words:2
+         (Thread.repeat 4 (fun i ->
+              Thread.ignore_m
+                (Runtime.call rt ~access:Runtime.Migrate ~home:(i + 1) ~args_words:carried
+                   ~result_words:2 (Thread.return ())))));
+    Network.total_words m.Machine.net
+  in
+  Alcotest.(check bool) "carrying less is cheaper" true (words 6 < words 24)
+
+
+(* ------------------------------------------------------------------ *)
+(* Object migration (Emerald-style)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mk_objmig ?(n = 8) () =
+  let m = machine ~n () in
+  let rt = Runtime.create m in
+  let space = Objspace.create m in
+  let om = Objmig.create rt space ~words_of:(fun (_ : int ref) -> 20) in
+  (m, rt, space, om)
+
+let test_objmig_remote_call () =
+  let m, _, space, om = mk_objmig () in
+  let cell = ref 5 in
+  let i = Objspace.register space ~home:4 cell in
+  let got = ref 0 in
+  run_thread ~on:0 m
+    (let* v =
+       Objmig.call om i ~args_words:4 ~result_words:2 (fun c ->
+           incr c;
+           Thread.return !c)
+     in
+     got := v;
+     Thread.return ());
+  Alcotest.(check int) "method ran at home" 6 !got;
+  Alcotest.(check int) "two messages" 2 (Network.total_messages m.Machine.net);
+  Alcotest.(check int) "no forwards" 0 (Objmig.forwards om)
+
+let test_objmig_forwarding_then_learned () =
+  let m, _, space, om = mk_objmig () in
+  let i = Objspace.register space ~home:2 (ref 0) in
+  (* The caller on processor 0 primes its hint... *)
+  run_thread ~on:0 m
+    (Thread.ignore_m (Objmig.call om i ~args_words:4 ~result_words:2 (fun _ -> Thread.return 0)));
+  (* ...then a different thread (on processor 3) moves the object, so
+     processor 0's hint goes stale. *)
+  run_thread ~on:3 m (Objmig.migrate_object om i ~to_:6);
+  let before = Network.total_messages m.Machine.net in
+  run_thread ~on:0 m
+    (let* _ = Objmig.call om i ~args_words:4 ~result_words:2 (fun _ -> Thread.return 0) in
+     Thread.return ());
+  let after_first = Network.total_messages m.Machine.net in
+  Alcotest.(check int) "forwarded call: call+forward+reply" 3 (after_first - before);
+  (* The reply taught processor 0 the new home: next call is direct. *)
+  run_thread ~on:0 m
+    (let* _ = Objmig.call om i ~args_words:4 ~result_words:2 (fun _ -> Thread.return 0) in
+     Thread.return ());
+  Alcotest.(check int) "direct call: 2 messages" 2
+    (Network.total_messages m.Machine.net - after_first);
+  Alcotest.(check int) "one forward" 1 (Objmig.forwards om);
+  Alcotest.(check int) "object moved once" 1 (Objmig.object_moves om);
+  Alcotest.(check int) "home updated" 6 (Objspace.home space i)
+
+let test_objmig_pull_then_local () =
+  let m, _, space, om = mk_objmig () in
+  let i = Objspace.register space ~home:5 (ref 0) in
+  run_thread ~on:1 m
+    (let* () =
+       Thread.repeat 4 (fun _ ->
+           Thread.ignore_m (Objmig.call_pull om i ~result_words:2 (fun c ->
+               incr c;
+               Thread.return !c)))
+     in
+     Thread.return ());
+  Alcotest.(check int) "one move only" 1 (Objmig.object_moves om);
+  Alcotest.(check int) "object now local to caller" 1 (Objspace.home space i);
+  (* Pull = request + transfer; everything after is local. *)
+  Alcotest.(check int) "two messages total" 2 (Network.total_messages m.Machine.net)
+
+let test_objmig_writeshared_pingpong_vs_cp () =
+  (* The paper's S2.2 claim: for write-shared data, moving the object is
+     much worse than moving the computation. *)
+  let rounds = 10 in
+  let pingpong_words =
+    let m, _, space, om = mk_objmig () in
+    let i = Objspace.register space ~home:0 (ref 0) in
+    let turn = ref 0 in
+    for th = 0 to 1 do
+      Machine.spawn m ~on:(th + 1)
+        (Thread.repeat rounds (fun _ ->
+             (* Alternate strictly so the object really ping-pongs. *)
+             let* () = Thread.while_ (fun () -> !turn mod 2 <> th) (Thread.sleep 50) in
+             let* () =
+               Thread.ignore_m
+                 (Objmig.call_pull om i ~result_words:2 (fun c ->
+                      incr c;
+                      Thread.return ()))
+             in
+             incr turn;
+             Thread.return ()))
+    done;
+    Machine.run m;
+    Network.total_words m.Machine.net
+  in
+  let cp_words =
+    let m = machine () in
+    let rt = Runtime.create m in
+    let cell = ref 0 in
+    let turn = ref 0 in
+    for th = 0 to 1 do
+      Machine.spawn m ~on:(th + 1)
+        (Thread.repeat rounds (fun _ ->
+             let* () = Thread.while_ (fun () -> !turn mod 2 <> th) (Thread.sleep 50) in
+             let* () =
+               Runtime.scope rt ~result_words:2
+                 (Runtime.call rt ~access:Runtime.Migrate ~home:0 ~args_words:8 ~result_words:2
+                    (Thread.return (incr cell)))
+             in
+             incr turn;
+             Thread.return ()))
+    done;
+    Machine.run m;
+    Network.total_words m.Machine.net
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "object ping-pong (%d words) much heavier than CP (%d words)" pingpong_words
+       cp_words)
+    true
+    (pingpong_words > cp_words)
+
+
+let prop_objmig_random_moves_and_calls =
+  (* Random interleavings of moves and calls from one driver thread:
+     every call must observe the object's full history (the state is a
+     counter), wherever the object currently lives, and the final home
+     must match the last move. *)
+  QCheck.Test.make ~name:"mobile object correct under random move/call sequences" ~count:40
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_range 0 7) bool))
+    (fun ops ->
+      let m = machine () in
+      let rt = Runtime.create m in
+      let space = Objspace.create m in
+      let om = Objmig.create rt space ~words_of:(fun _ -> 16) in
+      let i = Objspace.register space ~home:3 (ref 0) in
+      let calls = List.length (List.filter (fun (_, is_call) -> is_call) ops) in
+      let seen = ref [] in
+      Machine.spawn m ~on:0
+        (Thread.iter_list
+           (fun (target, is_call) ->
+             if is_call then
+               let open Thread.Infix in
+               let* v =
+                 Objmig.call om i ~args_words:4 ~result_words:2 (fun c ->
+                     incr c;
+                     Thread.return !c)
+               in
+               seen := v :: !seen;
+               Thread.return ()
+             else Objmig.migrate_object om i ~to_:target)
+           ops);
+      Machine.run m;
+      let expected_home =
+        List.fold_left (fun h (tgt, is_call) -> if is_call then h else tgt) 3 ops
+      in
+      List.rev !seen = List.init calls (fun k -> k + 1)
+      && Objspace.home space i = expected_home)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive mechanism selection                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A chain workload: each activation hops across [m] objects (one call
+   each).  Every site is followed by more calls, so the policy should
+   settle on migration. *)
+let run_adaptive_chain ~rounds ~m =
+  let mach = Machine.create ~seed:2 ~n_procs:(m + 1) ~costs:costs () in
+  let rt = Runtime.create mach in
+  let ad = Adaptive.create rt ~explore:4 () in
+  let sites = Array.init m (fun i -> Adaptive.site ad ~name:(Printf.sprintf "hop%d" i)) in
+  run_thread ~on:0 mach
+    (Thread.repeat rounds (fun _ ->
+         Adaptive.scope ad
+           (Thread.iter_list
+              (fun i ->
+                Thread.ignore_m
+                  (Adaptive.call ad ~site:sites.(i) ~home:(i + 1) ~args_words:8 ~result_words:2
+                     (Thread.compute 20)))
+              (List.init m (fun i -> i)))));
+  (ad, sites, Network.total_messages mach.Machine.net)
+
+let test_adaptive_learns_to_migrate () =
+  let ad, sites, _ = run_adaptive_chain ~rounds:30 ~m:6 in
+  (* All sites except the last are followed by further calls. *)
+  for i = 0 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "site %d estimate >= 1" i)
+      true
+      (Adaptive.site_estimate ad sites.(i) >= 1.)
+  done;
+  Alcotest.(check bool) "last site estimate < 1" true (Adaptive.site_estimate ad sites.(5) < 1.);
+  Alcotest.(check bool) "mostly migrations" true
+    (Adaptive.chosen_migrations ad > 3 * Adaptive.chosen_rpcs ad)
+
+let test_adaptive_isolated_uses_rpc () =
+  (* One isolated access per activation: RPC is the right choice. *)
+  let mach = Machine.create ~seed:2 ~n_procs:4 ~costs:costs () in
+  let rt = Runtime.create mach in
+  let ad = Adaptive.create rt ~explore:4 () in
+  let s = Adaptive.site ad ~name:"isolated" in
+  run_thread ~on:0 mach
+    (Thread.repeat 30 (fun _ ->
+         Adaptive.scope ad
+           (Thread.ignore_m
+              (Adaptive.call ad ~site:s ~home:2 ~args_words:8 ~result_words:2
+                 (Thread.compute 20)))));
+  Alcotest.(check bool) "estimate ~0" true (Adaptive.site_estimate ad s < 0.5);
+  Alcotest.(check bool) "rpc dominates after exploration" true
+    (Adaptive.chosen_rpcs ad > Adaptive.chosen_migrations ad)
+
+let test_adaptive_message_count_near_static_best () =
+  let m = 6 and rounds = 40 in
+  let _, _, adaptive_msgs = run_adaptive_chain ~rounds ~m in
+  let static access =
+    let mach = Machine.create ~seed:2 ~n_procs:(m + 1) ~costs:costs () in
+    let rt = Runtime.create mach in
+    run_thread ~on:0 mach
+      (Thread.repeat rounds (fun _ ->
+           Runtime.scope rt ~result_words:2
+             (Thread.iter_list
+                (fun i ->
+                  Thread.ignore_m
+                    (Runtime.call rt ~access ~home:(i + 1) ~args_words:8 ~result_words:2
+                       (Thread.compute 20)))
+                (List.init m (fun i -> i)))));
+    Network.total_messages mach.Machine.net
+  in
+  let best = static Runtime.Migrate and worst = static Runtime.Rpc in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive (%d) within 30%% of best static (%d), far from worst (%d)"
+       adaptive_msgs best worst)
+    true
+    (float_of_int adaptive_msgs < 1.3 *. float_of_int best);
+  Alcotest.(check bool) "clearly better than static rpc" true
+    (float_of_int adaptive_msgs < 0.8 *. float_of_int worst)
+
+let test_adaptive_outside_scope_rejected () =
+  let mach = Machine.create ~seed:2 ~n_procs:4 ~costs:costs () in
+  let rt = Runtime.create mach in
+  let ad = Adaptive.create rt () in
+  let s = Adaptive.site ad ~name:"x" in
+  let raised = ref false in
+  Machine.spawn mach ~on:0
+    (fun ctx k ->
+      try Adaptive.call ad ~site:s ~home:1 ~args_words:8 ~result_words:2 (Thread.return ()) ctx k
+      with Invalid_argument _ ->
+        raised := true;
+        k ());
+  Machine.run mach;
+  Alcotest.(check bool) "rejected outside scope" true !raised
+
+let test_adaptive_sites_independent () =
+  (* One chained site and one isolated site in the same program must
+     learn different mechanisms. *)
+  let mach = Machine.create ~seed:2 ~n_procs:6 ~costs:costs () in
+  let rt = Runtime.create mach in
+  let ad = Adaptive.create rt ~explore:4 () in
+  let chained = Adaptive.site ad ~name:"chained" in
+  let lonely = Adaptive.site ad ~name:"lonely" in
+  run_thread ~on:0 mach
+    (Thread.repeat 30 (fun round ->
+         Adaptive.scope ad
+           (if round mod 2 = 0 then
+              (* chained: three hops *)
+              Thread.iter_list
+                (fun h ->
+                  Thread.ignore_m
+                    (Adaptive.call ad ~site:chained ~home:h ~args_words:8 ~result_words:2
+                       (Thread.compute 10)))
+                [ 1; 2; 3 ]
+            else
+              Thread.ignore_m
+                (Adaptive.call ad ~site:lonely ~home:4 ~args_words:8 ~result_words:2
+                   (Thread.compute 10)))));
+  Alcotest.(check bool) "chained migrates" true (Adaptive.site_estimate ad chained >= 1.);
+  Alcotest.(check bool) "lonely stays rpc" true (Adaptive.site_estimate ad lonely < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Replicate                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let words_of_int _ = 6
+
+let test_replicate_read_at_home_free () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let r = Replicate.create rt ~home:2 ~words_of:words_of_int 10 in
+  let got = ref 0 in
+  run_thread ~on:2 m
+    (let* v = Replicate.read r in
+     got := v;
+     Thread.return ());
+  Alcotest.(check int) "value" 10 !got;
+  Alcotest.(check int) "no traffic" 0 (Network.total_messages m.Machine.net)
+
+let test_replicate_fetch_once_then_local () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let r = Replicate.create rt ~home:2 ~words_of:words_of_int 10 in
+  run_thread ~on:0 m
+    (Thread.repeat 5 (fun _ -> Thread.ignore_m (Replicate.read r)));
+  (* One fetch RPC (2 messages); four local reads. *)
+  Alcotest.(check int) "two messages" 2 (Network.total_messages m.Machine.net);
+  Alcotest.(check int) "one replica" 1 (Replicate.replicas r);
+  Alcotest.(check int) "local reads" 4 (Stats.get m.Machine.stats "repl.local_reads")
+
+let test_replicate_update_pushes () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let r = Replicate.create rt ~home:2 ~words_of:words_of_int 10 in
+  (* Two readers install replicas. *)
+  Machine.spawn m ~on:0 (Thread.ignore_m (Replicate.read r));
+  Machine.spawn m ~on:1 (Thread.ignore_m (Replicate.read r));
+  Machine.run m;
+  let before = Network.messages_of_kind m.Machine.net "repl_update" in
+  (* Update at the home; both replicas must receive the new value. *)
+  Machine.spawn m ~on:2 (Replicate.update r ~access:Runtime.Rpc 20);
+  Machine.run m;
+  Alcotest.(check int) "two pushes" 2 (Network.messages_of_kind m.Machine.net "repl_update" - before);
+  Alcotest.(check int) "version bumped" 1 (Replicate.version r);
+  Alcotest.(check int) "master updated" 20 (Replicate.peek r);
+  (* Readers now see the new value with no further traffic. *)
+  let total = Network.total_messages m.Machine.net in
+  let got = ref 0 in
+  run_thread ~on:0 m
+    (let* v = Replicate.read r in
+     got := v;
+     Thread.return ());
+  Alcotest.(check int) "fresh value" 20 !got;
+  Alcotest.(check int) "no new traffic" total (Network.total_messages m.Machine.net)
+
+let test_replicate_update_from_remote_migrate () =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let r = Replicate.create rt ~home:2 ~words_of:words_of_int 1 in
+  let ended_on = ref (-1) in
+  run_thread ~on:0 m
+    (let* () = Replicate.update r ~access:Runtime.Migrate 5 in
+     let* p = Thread.proc in
+     ended_on := Processor.id p;
+     Thread.return ());
+  Alcotest.(check int) "thread stays at home after migrate-update" 2 !ended_on;
+  Alcotest.(check int) "new master" 5 (Replicate.peek r)
+
+(* ------------------------------------------------------------------ *)
+(* Prelude facade                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_prelude_invoke_mutates_at_home () =
+  let m = machine () in
+  let p = Prelude.create m in
+  let counter = Prelude.make_obj p ~home:4 (ref 0) in
+  run_thread ~on:0 m
+    (Thread.repeat 3 (fun _ ->
+         Prelude.invoke p ~access:Prelude.Rpc counter (fun cell ->
+             incr cell;
+             Thread.return ())));
+  Alcotest.(check int) "state mutated" 3 !(Prelude.obj_state counter)
+
+let test_prelude_annotation_preserves_semantics () =
+  (* The same program must compute the same answer under both
+     annotations — only performance may differ (paper S3.1). *)
+  let result access =
+    let m = machine () in
+    let p = Prelude.create m in
+    let cells = List.init 4 (fun i -> Prelude.make_obj p ~home:(i + 1) (ref ((i + 1) * 7))) in
+    let acc = ref 0 in
+    run_thread ~on:0 m
+      (Prelude.proc p
+         (Thread.iter_list
+            (fun cell ->
+              let* v = Prelude.invoke p ~access cell (fun r -> Thread.return !r) in
+              acc := !acc + v;
+              Thread.return ())
+            cells));
+    !acc
+  in
+  Alcotest.(check int) "same result" (result Prelude.Rpc) (result Prelude.Migrate)
+
+let test_prelude_migrate_fewer_words () =
+  let traffic access =
+    let m = machine () in
+    let p = Prelude.create m in
+    let cells = List.init 6 (fun i -> Prelude.make_obj p ~home:(i + 1) i) in
+    run_thread ~on:0 m
+      (Prelude.proc p
+         (Thread.iter_list
+            (fun cell ->
+              Thread.ignore_m (Prelude.invoke p ~access cell (fun _ -> Thread.return ())))
+            cells));
+    Network.total_words m.Machine.net
+  in
+  Alcotest.(check bool) "migrate uses less bandwidth" true
+    (traffic Prelude.Migrate < traffic Prelude.Rpc)
+
+let test_prelude_bad_home () =
+  let m = machine () in
+  let p = Prelude.create m in
+  Alcotest.check_raises "bad home" (Invalid_argument "Prelude.make_obj: bad home processor")
+    (fun () -> ignore (Prelude.make_obj p ~home:123 ()))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite props = List.map QCheck_alcotest.to_alcotest props
+
+let () =
+  Alcotest.run "cm_runtime"
+    [
+      ( "objspace",
+        [
+          Alcotest.test_case "register" `Quick test_objspace_register;
+          Alcotest.test_case "bad home" `Quick test_objspace_bad_home;
+          Alcotest.test_case "unknown" `Quick test_objspace_unknown;
+          Alcotest.test_case "iter" `Quick test_objspace_iter;
+          Alcotest.test_case "growth" `Quick test_objspace_growth;
+        ] );
+      ( "call",
+        [
+          Alcotest.test_case "local no messages" `Quick test_call_local_no_messages;
+          Alcotest.test_case "rpc two messages" `Quick test_call_rpc_two_messages;
+          Alcotest.test_case "rpc uses server cpu" `Quick test_call_rpc_uses_server_cpu;
+          Alcotest.test_case "migrate one message" `Quick test_call_migrate_one_message_and_moves;
+          Alcotest.test_case "migrate then local" `Quick test_call_migrate_subsequent_local;
+          Alcotest.test_case "scope returns home" `Quick test_scope_returns_home;
+          Alcotest.test_case "scope at base" `Quick test_scope_at_base_short_circuits;
+          Alcotest.test_case "scope local free" `Quick test_scope_local_body_free;
+          Alcotest.test_case "rpc handler migrates" `Quick test_rpc_handler_migrates_reply_short_circuit;
+          Alcotest.test_case "migration cheaper" `Quick test_migration_cheaper_than_rpc_roundtrip;
+          Alcotest.test_case "thread migration moves" `Quick test_thread_migration_moves_permanently;
+          Alcotest.test_case "thread migration local noop" `Quick test_thread_migration_local_noop;
+          Alcotest.test_case "thread migration heavier" `Quick
+            test_thread_migration_heavier_than_activation;
+          Alcotest.test_case "residual fetch" `Quick test_fetch_residual_round_trip;
+          Alcotest.test_case "residual local noop" `Quick test_fetch_residual_local_noop;
+          Alcotest.test_case "partial carry cheaper" `Quick
+            test_partial_carry_saves_words_when_unused;
+        ] );
+      ( "fig1-model",
+        [
+          Alcotest.test_case "rpc 2nm" `Quick test_fig1_rpc_2nm;
+          Alcotest.test_case "cp m+1" `Quick test_fig1_cp_m_plus_1;
+          Alcotest.test_case "data migration 2m" `Quick test_fig1_data_migration_2m;
+        ]
+        @ qsuite
+            [
+              prop_fig1_cp_never_more_messages;
+              prop_mixed_sequence_messages;
+              prop_scope_always_returns_to_origin;
+              prop_rpc_never_moves_thread;
+            ] );
+      ( "objmig",
+        [
+          Alcotest.test_case "remote call" `Quick test_objmig_remote_call;
+          Alcotest.test_case "forwarding then learned" `Quick test_objmig_forwarding_then_learned;
+          Alcotest.test_case "pull then local" `Quick test_objmig_pull_then_local;
+          Alcotest.test_case "write-shared pingpong" `Quick
+            test_objmig_writeshared_pingpong_vs_cp;
+        ]
+        @ qsuite [ prop_objmig_random_moves_and_calls ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "learns to migrate" `Quick test_adaptive_learns_to_migrate;
+          Alcotest.test_case "isolated uses rpc" `Quick test_adaptive_isolated_uses_rpc;
+          Alcotest.test_case "near static best" `Quick test_adaptive_message_count_near_static_best;
+          Alcotest.test_case "outside scope rejected" `Quick test_adaptive_outside_scope_rejected;
+          Alcotest.test_case "sites independent" `Quick test_adaptive_sites_independent;
+        ] );
+      ( "replicate",
+        [
+          Alcotest.test_case "read at home free" `Quick test_replicate_read_at_home_free;
+          Alcotest.test_case "fetch once then local" `Quick test_replicate_fetch_once_then_local;
+          Alcotest.test_case "update pushes" `Quick test_replicate_update_pushes;
+          Alcotest.test_case "update via migrate" `Quick test_replicate_update_from_remote_migrate;
+        ] );
+      ( "prelude",
+        [
+          Alcotest.test_case "invoke mutates at home" `Quick test_prelude_invoke_mutates_at_home;
+          Alcotest.test_case "annotation preserves semantics" `Quick
+            test_prelude_annotation_preserves_semantics;
+          Alcotest.test_case "migrate fewer words" `Quick test_prelude_migrate_fewer_words;
+          Alcotest.test_case "bad home" `Quick test_prelude_bad_home;
+          Alcotest.test_case "proc at base" `Quick test_prelude_proc_at_base;
+          Alcotest.test_case "defaults" `Quick test_prelude_defaults;
+          Alcotest.test_case "obj home" `Quick test_prelude_obj_home;
+        ] );
+    ]
