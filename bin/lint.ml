@@ -1,0 +1,238 @@
+(* cm-lint: a determinism / correctness lint for the simulation libraries.
+
+   Parses every .ml file under the given roots (default: lib) with
+   compiler-libs and flags hazards that would silently break the
+   repository's bit-for-bit reproducibility claim or crash at runtime:
+
+     determinism      Random.*, Sys.time, Unix.*, Hashtbl.randomize, or
+                      Hashtbl.create ~random:... — nondeterministic inputs
+                      that must stay behind Cm_engine.Rng.
+     hashtbl-order    Hashtbl.iter / Hashtbl.fold — iteration order is
+                      unspecified and can leak into event scheduling or
+                      printed reports.  Allowed when the result is
+                      order-insensitive (sorted afterwards, commutative
+                      accumulation) — annotate the site.
+     closure-compare  Structural =, <> or compare where an operand is a
+                      function literal or a conventionally-named
+                      continuation (k, cont, resume, action, ...).
+                      Continuations are first-class values here and
+                      structural comparison on closures raises at runtime.
+     printf           Printf.printf / Format.printf / print_* in library
+                      code: report output belongs to the experiments'
+                      report layer, diagnostics to Cm_engine.Trace.
+
+   Suppression: a finding is allowed when its line (or the line above)
+   carries "(* lint: allow <rule> *)", or the file carries
+   "(* lint: allow-file <rule> *)" anywhere (for presentation-layer
+   modules whose whole purpose is printing).
+
+   Findings print as "file:line: rule: message"; exit status is non-zero
+   when any unsuppressed finding remains.  The lint is purely syntactic —
+   it parses but does not type — so module aliases can hide a call from
+   it; it is a tripwire, not a proof. *)
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+let findings : finding list ref = ref []
+
+let report ~file ~line ~rule msg = findings := { file; line; rule; msg } :: !findings
+
+(* ------------------------------------------------------------------ *)
+(* Source-comment suppressions                                        *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> Array.of_list (List.rev acc)
+      in
+      go [])
+
+let suppressed lines ~line ~rule =
+  let tag = "lint: allow " ^ rule in
+  let file_tag = "lint: allow-file " ^ rule in
+  let at i = i >= 1 && i <= Array.length lines && contains lines.(i - 1) tag in
+  at line || at (line - 1) || Array.exists (fun l -> contains l file_tag) lines
+
+(* ------------------------------------------------------------------ *)
+(* The rules                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let ident_path e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } ->
+    (try Some (strip_stdlib (Longident.flatten txt)) with Misc.Fatal_error -> None)
+  | _ -> None
+
+let forbidden_ident = function
+  | "Random" :: _ -> Some "use of Random.* (route randomness through Cm_engine.Rng)"
+  | [ "Sys"; "time" ] -> Some "Sys.time is wall-clock dependent (use the Sim clock)"
+  | "Unix" :: _ -> Some "use of Unix.* (real-world I/O and time break determinism)"
+  | [ "Hashtbl"; "randomize" ] -> Some "Hashtbl.randomize makes iteration order per-process"
+  | _ -> None
+
+let order_sensitive_ident = function
+  | [ "Hashtbl"; ("iter" | "fold") ] -> true
+  | _ -> false
+
+let printing_ident = function
+  | [ "Printf"; "printf" ]
+  | [ "Format"; "printf" ]
+  | [ ("print_string" | "print_endline" | "print_newline" | "print_int" | "print_char"
+      | "print_float") ] ->
+    true
+  | _ -> false
+
+(* Identifiers that conventionally hold continuations/closures in this
+   codebase; structural comparison on them raises at runtime.  "k" is
+   deliberately absent — it names both continuations (CPS internals) and
+   integer keys (B-tree, DHT), and the latter dominate comparisons. *)
+let closure_names = [ "cont"; "continuation"; "resume"; "action"; "thunk"; "callback" ]
+
+let rec last = function [] -> "" | [ x ] -> x | _ :: tl -> last tl
+
+let closure_suspect (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_ident { txt = Lident n; _ } -> List.mem n closure_names
+  | Pexp_field (_, { txt; _ }) ->
+    (try List.mem (last (Longident.flatten txt)) closure_names
+     with Misc.Fatal_error -> false)
+  | _ -> false
+
+let polymorphic_compare = function [ ("=" | "<>" | "compare") ] -> true | _ -> false
+
+let hashtbl_create_random args =
+  List.exists
+    (fun (label, (arg : Parsetree.expression)) ->
+      match (label, arg.pexp_desc) with
+      | ( (Asttypes.Labelled "random" | Asttypes.Optional "random"),
+          Pexp_construct ({ txt = Lident "false"; _ }, None ) ) ->
+        false
+      | (Asttypes.Labelled "random" | Asttypes.Optional "random"), _ -> true
+      | _ -> false)
+    args
+
+(* ------------------------------------------------------------------ *)
+(* The walk                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_expr ~file (e : Parsetree.expression) =
+  let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
+  (match ident_path e with
+  | Some path -> (
+    (match forbidden_ident path with
+    | Some msg -> report ~file ~line ~rule:"determinism" msg
+    | None -> ());
+    if order_sensitive_ident path then
+      report ~file ~line ~rule:"hashtbl-order"
+        (Printf.sprintf
+           "%s iterates in unspecified order; sort the result or justify with an allow \
+            comment"
+           (String.concat "." path));
+    if printing_ident path then
+      report ~file ~line ~rule:"printf"
+        (Printf.sprintf "%s prints from library code; route through Cm_engine.Trace or the \
+                         report layer"
+           (String.concat "." path)))
+  | None -> ());
+  match e.pexp_desc with
+  | Pexp_apply (fn, args) -> (
+    (match ident_path fn with
+    | Some [ "Hashtbl"; "create" ] when hashtbl_create_random args ->
+      report ~file ~line ~rule:"determinism"
+        "Hashtbl.create ~random makes iteration order per-process"
+    | Some op when polymorphic_compare op ->
+      if List.exists (fun (_, a) -> closure_suspect a) args then
+        report ~file ~line ~rule:"closure-compare"
+          (Printf.sprintf
+             "structural %s on a value that looks like a closure (continuations raise \
+              under polymorphic comparison)"
+             (String.concat "." op))
+    | _ -> ()))
+  | _ -> ()
+
+let lint_file file =
+  let ast =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lexbuf = Lexing.from_channel ic in
+        Location.init lexbuf file;
+        Parse.implementation lexbuf)
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          check_expr ~file e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter ast
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry > 0 && (entry.[0] = '_' || entry.[0] = '.') then acc
+           else collect_ml acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with _ :: (_ :: _ as roots) -> roots | _ -> [ "lib" ]
+  in
+  let files =
+    try List.fold_left collect_ml [] roots |> List.sort String.compare
+    with Sys_error msg ->
+      Printf.eprintf "cm-lint: %s\n" msg;
+      exit 2
+  in
+  let parse_failures = ref 0 in
+  List.iter
+    (fun file ->
+      try lint_file file
+      with exn ->
+        incr parse_failures;
+        Printf.eprintf "%s: parse-error: %s\n" file (Printexc.to_string exn))
+    files;
+  let surviving =
+    List.filter
+      (fun f ->
+        let lines = read_lines f.file in
+        not (suppressed lines ~line:f.line ~rule:f.rule))
+      !findings
+    |> List.sort (fun a b ->
+           match String.compare a.file b.file with 0 -> compare a.line b.line | c -> c)
+  in
+  List.iter
+    (fun f -> Printf.printf "%s:%d: %s: %s\n" f.file f.line f.rule f.msg)
+    surviving;
+  if surviving <> [] || !parse_failures > 0 then begin
+    Printf.eprintf "cm-lint: %d finding(s) in %d file(s) scanned\n" (List.length surviving)
+      (List.length files);
+    exit 1
+  end
+  else Printf.printf "cm-lint: %d files clean\n" (List.length files)

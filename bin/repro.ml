@@ -5,9 +5,11 @@
      repro fig2 [--quick]         one experiment
      repro list                   show available experiments
      repro custom ...             a custom single run (scheme/app/params)
+     repro selfcheck [--full]     prove same-seed determinism under sanitizers
 *)
 
 open Cmdliner
+open Cm_engine
 open Cm_experiments
 
 let quick_arg =
@@ -88,6 +90,94 @@ let custom_cmd =
         (const run $ scheme_arg $ app_arg $ think_arg $ requesters_arg $ horizon_arg
        $ fanout_arg $ detail_arg))
 
+(* --- selfcheck: same-seed determinism proof ----------------------- *)
+
+(* Run [f] with stdout redirected to a temp file; return [f]'s outcome
+   and everything it printed.  The reports the experiments print are part
+   of the observable output being checked. *)
+let with_captured_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file "cm_selfcheck" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let result = try Ok (f ()) with e -> Error e in
+  flush stdout;
+  Unix.dup2 saved Unix.stdout;
+  Unix.close saved;
+  let ic = open_in_bin tmp in
+  let printed = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  (result, printed)
+
+(* One sanitized run of an experiment: every machine the experiment
+   drives appends a digest of (final clock, events fired, statistics) to
+   the Check trail, and the printed report is hashed as well. *)
+let sanitized_run entry ~quick =
+  Check.set_enabled true;
+  Check.reset ();
+  Check.Trail.set_recording true;
+  let result, printed = with_captured_stdout (fun () -> entry.Registry.run ~quick ()) in
+  Check.Trail.set_recording false;
+  (result, Check.Trail.trail (), Digest.to_hex (Digest.string printed))
+
+let rec first_diff i a b =
+  match (a, b) with
+  | [], [] -> None
+  | x :: a', y :: b' -> if String.equal x y then first_diff (i + 1) a' b' else Some i
+  | _, [] | [], _ -> Some i
+
+let selfcheck full =
+  let quick = not full in
+  let failures = ref 0 in
+  List.iter
+    (fun entry ->
+      let id = entry.Registry.id in
+      match (sanitized_run entry ~quick, sanitized_run entry ~quick) with
+      | (Ok (), trail1, out1), (Ok (), trail2, out2) ->
+        if trail1 = trail2 && String.equal out1 out2 then
+          Printf.printf "selfcheck %-10s ok: %d machine run(s) identical, report %s\n" id
+            (List.length trail1)
+            (String.sub out1 0 (min 12 (String.length out1)))
+        else begin
+          incr failures;
+          Printf.printf "selfcheck %-10s MISMATCH between same-seed runs\n" id;
+          (match first_diff 0 trail1 trail2 with
+          | Some i ->
+            Printf.printf "  machine-run digests diverge at run %d (%d vs %d runs recorded)\n"
+              i (List.length trail1) (List.length trail2)
+          | None -> ());
+          if not (String.equal out1 out2) then
+            Printf.printf "  printed reports differ (%s vs %s)\n" out1 out2
+        end
+      | ((Error e, _, _), _ | _, (Error e, _, _)) ->
+        incr failures;
+        Printf.printf "selfcheck %-10s FAILED under sanitizers: %s\n" id
+          (Printexc.to_string e))
+    Registry.all;
+  Check.set_enabled false;
+  Check.reset ();
+  if !failures > 0 then begin
+    Printf.printf "selfcheck: %d experiment(s) not reproducible\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf "selfcheck: all %d experiments deterministic under sanitizers\n"
+      (List.length Registry.all)
+
+let selfcheck_cmd =
+  let full_arg =
+    let doc = "Run the experiments at full size (the default uses --quick sizes)." in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let doc =
+    "Run every registered experiment twice with the same seed, all sanitizers enabled, and \
+     fail unless the two runs are bit-identical (machine digests and printed reports)."
+  in
+  Cmd.v (Cmd.info "selfcheck" ~doc) Term.(const selfcheck $ full_arg)
+
 let () =
   let doc = "Reproduce the evaluation of Hsieh/Wang/Weihl, PPoPP 1993" in
   let info = Cmd.info "repro" ~version:"1.0" ~doc in
@@ -95,4 +185,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          ([ all_cmd; list_cmd; custom_cmd ] @ List.map experiment_cmd Registry.all)))
+          ([ all_cmd; list_cmd; custom_cmd; selfcheck_cmd ]
+          @ List.map experiment_cmd Registry.all)))

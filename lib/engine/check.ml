@@ -1,0 +1,90 @@
+exception Violation of string
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let fail msg = raise (Violation msg)
+
+let failf fmt = Format.kasprintf fail fmt
+
+let require cond fmt =
+  if cond then Format.ikfprintf ignore Format.str_formatter fmt else failf fmt
+
+module Linear = struct
+  type token = { id : int; what : string; mutable used : bool }
+
+  let next_id = ref 0
+
+  (* Tokens created but not yet used; the value is the creation label so
+     leaks can be reported by name. *)
+  let live : (int, string) Hashtbl.t = Hashtbl.create 256
+
+  let make ~what =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace live id what;
+    { id; what; used = false }
+
+  let use tok =
+    if tok.used then failf "continuation resumed twice: %s" tok.what;
+    tok.used <- true;
+    Hashtbl.remove live tok.id
+
+  let outstanding () = Hashtbl.length live
+
+  let outstanding_whats () =
+    (* The fold feeds a sort, so table order never escapes. *)
+    Hashtbl.fold (fun _ what acc -> what :: acc) live [] (* lint: allow hashtbl-order *)
+    |> List.sort String.compare
+
+  let reset () =
+    Hashtbl.reset live;
+    next_id := 0
+end
+
+let linear ~what f =
+  if not !enabled_flag then f
+  else begin
+    let tok = Linear.make ~what in
+    fun v ->
+      Linear.use tok;
+      f v
+  end
+
+module Trail = struct
+  let recording = ref false
+
+  let entries : string list ref = ref []
+
+  let set_recording b = recording := b
+
+  let is_recording () = !recording
+
+  let digest_of_run ~clock ~fired ~stats =
+    let b = Buffer.create 512 in
+    Buffer.add_string b (Printf.sprintf "clock=%d fired=%d" clock fired);
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf " %s=%d" name v))
+      (Stats.counters stats);
+    List.iter
+      (fun (name, s) ->
+        Buffer.add_string b
+          (Printf.sprintf " %s:n=%d,sum=%h,min=%h,max=%h" name s.Stats.count s.Stats.sum
+             s.Stats.min s.Stats.max))
+      (Stats.distributions stats);
+    Digest.to_hex (Digest.string (Buffer.contents b))
+
+  let record_run ~clock ~fired ~stats =
+    if !recording then entries := digest_of_run ~clock ~fired ~stats :: !entries
+
+  let trail () = List.rev !entries
+
+  let reset () = entries := []
+end
+
+let set_enabled b = enabled_flag := b
+
+let reset () =
+  Linear.reset ();
+  Trail.reset ()

@@ -29,6 +29,8 @@ let after t delay =
 let pending t = Heap.length t.queue
 
 let fire t e =
+  if Check.enabled () && e.time < t.clock then
+    Check.failf "Sim: event seq %d fires at %d, before the clock (%d)" e.seq e.time t.clock;
   t.clock <- e.time;
   t.fired <- t.fired + 1;
   e.action ()

@@ -48,17 +48,20 @@ let mean t name =
   let s = summary t name in
   if s.count = 0 then nan else s.sum /. float_of_int s.count
 
+(* The folds below feed a name sort, so the unspecified hashtable order
+   never reaches callers — reports stay byte-stable across runs. *)
 let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters [] (* lint: allow hashtbl-order *)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let distributions t =
-  Hashtbl.fold (fun name d acc -> (name, summary_of_dist d) :: acc) t.dists []
+  Hashtbl.fold (fun name d acc -> (name, summary_of_dist d) :: acc) t.dists [] (* lint: allow hashtbl-order *)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let merge_into ~dst src =
-  Hashtbl.iter (fun name r -> add dst name !r) src.counters;
-  Hashtbl.iter
+  (* Merging is commutative (sum/min/max), so iteration order is inert. *)
+  Hashtbl.iter (fun name r -> add dst name !r) src.counters (* lint: allow hashtbl-order *);
+  Hashtbl.iter (* lint: allow hashtbl-order *)
     (fun name d ->
       let target = dist_ref dst name in
       target.d_count <- target.d_count + d.d_count;

@@ -13,10 +13,11 @@ let enabled l = rank l <= rank !current && !current <> Quiet
 let emit l msg = if enabled l then prerr_endline (msg ())
 
 let eventf ?time fmt =
-  let k message =
-    if enabled Events then
+  if enabled Events then
+    let k message =
       match time with
       | Some t -> Printf.eprintf "[%8d] %s\n%!" t message
       | None -> Printf.eprintf "%s\n%!" message
-  in
-  Format.kasprintf k fmt
+    in
+    Format.kasprintf k fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt

@@ -20,5 +20,5 @@ val emit : level -> (unit -> string) -> unit
 
 val eventf : ?time:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** [eventf ?time fmt ...] formats and prints at level [Events], prefixed
-    with [time] when given.  The format arguments are still evaluated when
-    tracing is off, so prefer {!emit} on hot paths. *)
+    with [time] when given.  When tracing is off the format arguments are
+    not formatted — the call costs one level test. *)

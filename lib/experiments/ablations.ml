@@ -1,3 +1,5 @@
+(* lint: allow-file printf — report/presentation layer: printing tables to stdout
+   is this module's purpose. *)
 (* Ablations of the design choices DESIGN.md calls out.  Each one turns
    a single mechanism knob and shows its contribution:
 

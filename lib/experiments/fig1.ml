@@ -1,3 +1,5 @@
+(* lint: allow-file printf — report/presentation layer: printing tables to stdout
+   is this module's purpose. *)
 (* Figure 1: the message-count model.  One thread on P0 makes n
    consecutive accesses to each of m data items on processors 1..m.
    The paper's model: RPC 2nm messages, data migration 2m (plus

@@ -1,3 +1,5 @@
+(* lint: allow-file printf — report/presentation layer: printing tables to stdout
+   is this module's purpose. *)
 (* Figure 2: counting-network throughput (requests / 1000 cycles) as a
    function of the number of requester processes (8..64), under both
    think times (0 and 10 000 cycles), for the five schemes the paper

@@ -1,3 +1,5 @@
+(* lint: allow-file printf — report/presentation layer: printing tables to stdout
+   is this module's purpose. *)
 (* Figure 3: counting-network bandwidth (words sent / 10 cycles) vs the
    number of requesters, for RPC, shared memory, and computation
    migration, at both think times. *)

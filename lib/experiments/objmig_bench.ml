@@ -1,3 +1,5 @@
+(* lint: allow-file printf — report/presentation layer: printing tables to stdout
+   is this module's purpose. *)
 open Cm_machine
 open Cm_runtime
 open Thread.Infix

@@ -1,3 +1,5 @@
+(* lint: allow-file printf — report/presentation layer: printing tables to stdout
+   is this module's purpose. *)
 type row = { label : string; paper : float option; measured : float }
 
 let print_header title =

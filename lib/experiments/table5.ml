@@ -1,3 +1,5 @@
+(* lint: allow-file printf — report/presentation layer: printing tables to stdout
+   is this module's purpose. *)
 (* Table 5: the cycle-cost breakdown of migrating one activation (the
    counting network's 32-byte activation) from one processor to another.
 

@@ -40,6 +40,12 @@ let spawn t ~on ?(on_exit = fun () -> ()) body =
   t.next_tid <- tid + 1;
   Thread.spawn ~tid ~rng:(Rng.split t.rng) ~on_exit:(fun () -> on_exit ()) (proc t on) body
 
-let run ?until t = Sim.run ?until t.sim
+let run ?until t =
+  Sim.run ?until t.sim;
+  Check.Trail.record_run ~clock:(Sim.now t.sim) ~fired:(Sim.events_fired t.sim) ~stats:t.stats
+
+let digest t =
+  Check.Trail.digest_of_run ~clock:(Sim.now t.sim) ~fired:(Sim.events_fired t.sim)
+    ~stats:t.stats
 
 let now t = Sim.now t.sim

@@ -44,7 +44,15 @@ val spawn : t -> on:int -> ?on_exit:(unit -> unit) -> unit Thread.t -> unit
     random stream drawn deterministically from the machine. *)
 
 val run : ?until:int -> t -> unit
-(** [run ?until t] drives the simulation (see {!Cm_engine.Sim.run}). *)
+(** [run ?until t] drives the simulation (see {!Cm_engine.Sim.run}).
+    When {!Cm_engine.Check.Trail} recording is on, a digest of the
+    finished run is appended to the trail. *)
+
+val digest : t -> string
+(** [digest t] is a hash of the machine's observable outcome — final
+    clock, events fired, and every statistic (see
+    {!Cm_engine.Check.Trail.digest_of_run}).  Two same-seed runs of a
+    deterministic workload must produce equal digests. *)
 
 val now : t -> int
 (** Current cycle. *)

@@ -36,25 +36,39 @@ let sleep n c k =
   Sim.after (Processor.sim p) n (fun () -> Processor.enqueue p (fun () -> k ()));
   Processor.release p
 
+(* Sanitizer shim: when [Check] is on, wrap a resumption in a one-shot
+   token so a double resume (or a dropped continuation, via the token
+   registry) is caught at the faulting call.  Identity when off. *)
+let guard what c f =
+  if Check.enabled () then
+    Check.linear ~what:(Printf.sprintf "tid %d: %s" c.thread_id what) f
+  else f
+
 let await register c k =
   let p = c.location in
-  register ~resume:(fun v -> Processor.enqueue p (fun () -> k v));
+  register
+    ~resume:(guard "Thread.await resume" c (fun v -> Processor.enqueue p (fun () -> k v)));
   Processor.release p
 
 let stall register c k =
   let p = c.location in
   let start = Sim.now (Processor.sim p) in
-  register ~resume:(fun v ->
-      Processor.charge p (Sim.now (Processor.sim p) - start);
-      k v)
+  register
+    ~resume:
+      (guard "Thread.stall resume" c (fun v ->
+           Processor.charge p (Sim.now (Processor.sim p) - start);
+           k v))
 
 let travel ~net ~dst ~words ~kind ~recv_work c k =
   let src = c.location in
-  let (_ : int) =
-    Network.send net ~src:(Processor.id src) ~dst:(Processor.id dst) ~words ~kind (fun () ->
+  let deliver =
+    guard "Thread.travel delivery" c (fun () ->
         Processor.enqueue dst (fun () ->
             c.location <- dst;
             Processor.hold dst recv_work k))
+  in
+  let (_ : int) =
+    Network.send net ~src:(Processor.id src) ~dst:(Processor.id dst) ~words ~kind deliver
   in
   Processor.release src
 
@@ -71,10 +85,12 @@ let spawn ?tid ?rng ?(on_exit = fun _ -> ()) p body =
   in
   let stream = match rng with Some r -> r | None -> Rng.create ~seed:(thread_id + 1) in
   let c = { thread_id; location = p; stream } in
-  Processor.enqueue p (fun () ->
-      body c (fun v ->
-          on_exit v;
-          Processor.release c.location))
+  let finish =
+    guard "Thread.spawn exit" c (fun v ->
+        on_exit v;
+        Processor.release c.location)
+  in
+  Processor.enqueue p (fun () -> body c finish)
 
 let rec iter_list f = function
   | [] -> return ()

@@ -2,10 +2,17 @@ open Cm_engine
 open Cm_machine
 open Thread.Infix
 
-type t = { mem : Shmem.t; word : Shmem.addr; base_backoff : int; max_backoff : int }
+type t = {
+  mem : Shmem.t;
+  word : Shmem.addr;
+  base_backoff : int;
+  max_backoff : int;
+  mutable writer_holder : int option;  (* maintained only under Check *)
+}
 
 let create ?(base_backoff = 64) ?(max_backoff = 2048) mem ~home =
-  { mem; word = Shmem.alloc mem ~home ~words:1; base_backoff; max_backoff }
+  { mem; word = Shmem.alloc mem ~home ~words:1; base_backoff; max_backoff;
+    writer_holder = None }
 
 let writer = -1
 
@@ -24,16 +31,39 @@ let acquire_read l =
   in
   attempt l.base_backoff
 
-let release_read l = Thread.ignore_m (Shmem.rmw l.mem l.word (fun v -> v - 1))
+let release_read l =
+  let* old = Shmem.rmw l.mem l.word (fun v -> v - 1) in
+  if Check.enabled () then
+    Check.require (old >= 1)
+      "Rwlock: release_read with reader count %d (no matching acquire_read)" old;
+  Thread.return ()
 
 let acquire_write l =
   let rec attempt backoff =
     let* old = Shmem.rmw l.mem l.word (fun v -> if v = 0 then writer else v) in
-    if old = 0 then Thread.return () else backoff_then l backoff attempt
+    if old = 0 then
+      if Check.enabled () then
+        let* me = Thread.tid in
+        l.writer_holder <- Some me;
+        Thread.return ()
+      else Thread.return ()
+    else backoff_then l backoff attempt
   in
   attempt l.base_backoff
 
-let release_write l = Shmem.write l.mem l.word 0
+let release_write l =
+  if not (Check.enabled ()) then Shmem.write l.mem l.word 0
+  else
+    let* me = Thread.tid in
+    (match l.writer_holder with
+    | Some h when h = me -> ()
+    | Some h -> Check.failf "Rwlock: release_write by tid %d, but tid %d holds it" me h
+    | None -> Check.failf "Rwlock: release_write by tid %d, but no writer is inside" me);
+    l.writer_holder <- None;
+    let* old = Shmem.rmw l.mem l.word (fun _ -> 0) in
+    Check.require (old = writer) "Rwlock: word read %d at release_write (expected %d)" old
+      writer;
+    Thread.return ()
 
 let with_read l body =
   let* () = acquire_read l in

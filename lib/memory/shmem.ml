@@ -78,6 +78,65 @@ let sim t = t.machine.Machine.sim
 let msg t ~src ~dst ~words ~kind =
   Network.send t.machine.Machine.net ~src ~dst ~words ~kind ignore
 
+(* --- MSI sanitizers (active only under Check) ---------------------- *)
+
+(* Validate the directory entry of [line] against every cache.  The
+   protocol applies transactions atomically, so between transactions:
+   - Owned o: o holds the only copy, in Modified state;
+   - Shared_by s: every resident copy is Shared, listed in s, and
+     byte-identical to home memory (s may list stale sharers — clean
+     eviction does not notify the directory, as in full-map hardware);
+   - Uncached: no cache holds the line. *)
+let validate_line t line =
+  let info = info_exn t line in
+  let state_name = function
+    | None -> "absent"
+    | Some Cache.Shared -> "Shared"
+    | Some Cache.Modified -> "Modified"
+  in
+  let each f = Array.iteri (fun pid cache -> f pid (Cache.state cache ~line)) t.caches in
+  match info.dstate with
+  | Owned o ->
+    each (fun pid st ->
+        if pid = o then
+          Check.require (st = Some Cache.Modified)
+            "Shmem line %d: directory says Owned %d but its cache copy is %s" line o
+            (state_name st)
+        else
+          Check.require (st = None)
+            "Shmem line %d: directory says Owned %d but cache %d also holds it (%s) — \
+             single-writer invariant broken"
+            line o pid (state_name st))
+  | Shared_by s ->
+    each (fun pid st ->
+        match st with
+        | None -> ()
+        | Some Cache.Modified ->
+          Check.failf
+            "Shmem line %d: cache %d holds Modified while the directory says Shared" line pid
+        | Some Cache.Shared ->
+          Check.require (ISet.mem pid s)
+            "Shmem line %d: cache %d holds a Shared copy but is not in the sharer set" line
+            pid;
+          (match Cache.lookup t.caches.(pid) ~line with
+          | Some (_, d) ->
+            Check.require (d = info.mem)
+              "Shmem line %d: cache %d's Shared copy diverges from home memory (stale \
+               value after downgrade)"
+              line pid
+          | None -> ()))
+  | Uncached ->
+    each (fun pid st ->
+        Check.require (st = None)
+          "Shmem line %d: directory says Uncached but cache %d holds it (%s)" line pid
+          (state_name st))
+
+let check_line t line = if Check.enabled () then validate_line t line
+
+let validate t =
+  (* Checking every line is order-insensitive: validation only raises. *)
+  Hashtbl.iter (fun line _ -> validate_line t line) t.lines (* lint: allow hashtbl-order *)
+
 (* Install [data] for [line] in [pid]'s cache, writing back a displaced
    modified victim. *)
 let install t pid line state data =
@@ -94,7 +153,8 @@ let install t pid line state data =
       Stats.incr (stats t) "coh.evict_wb";
       ignore
         (msg t ~src:pid ~dst:vinfo.home ~words:(t.cfg.ctrl_words + t.cfg.line_words)
-           ~kind:"coh_wb")
+           ~kind:"coh_wb");
+      check_line t ev.Cache.line
     end
     else Stats.incr (stats t) "coh.evict_clean"
 (* A cleanly evicted line leaves a stale sharer in the directory; later
@@ -127,6 +187,7 @@ let read_miss t pid line =
   let data = msg t ~src:home ~dst:pid ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_data" in
   lat := !lat + data;
   install t pid line Cache.Shared info.mem;
+  check_line t line;
   !lat
 
 (* Invalidate every sharer in [others]; returns the slowest
@@ -187,6 +248,7 @@ let write_miss t pid line =
     lat := !lat + data;
     install t pid line Cache.Modified info.mem
   end;
+  check_line t line;
   !lat
 
 (* The live, writable copy of [line] in [pid]'s cache (which must hold it
@@ -307,3 +369,10 @@ let poke t a v =
 let cache_of t p = t.caches.(p)
 
 let hit_rate t = Cache.hit_rate ~stats:(stats t)
+
+module For_testing = struct
+  let force_second_owner t a ~pid =
+    let line = line_of t a in
+    let info = info_exn t line in
+    ignore (Cache.insert t.caches.(pid) ~line ~state:Cache.Modified ~data:info.mem)
+end

@@ -97,3 +97,22 @@ val cache_of : t -> int -> Cache.t
 
 val hit_rate : t -> float
 (** Machine-wide cache hit rate so far. *)
+
+(** {1 Sanitizers} *)
+
+val validate : t -> unit
+(** [validate t] checks the MSI invariants of every allocated line
+    against every cache — at most one Modified owner, sharer sets
+    consistent with per-cache states, Shared copies identical to home
+    memory — raising {!Cm_engine.Check.Violation} on the first breach.
+    Runs regardless of {!Cm_engine.Check.enabled}; the per-transaction
+    checks the protocol performs itself are gated on it. *)
+
+(** Hooks for fault-injection tests only — never call from production
+    code. *)
+module For_testing : sig
+  val force_second_owner : t -> addr -> pid:int -> unit
+  (** [force_second_owner t a ~pid] plants a Modified copy of [a]'s line
+      in [pid]'s cache without telling the directory, manufacturing the
+      illegal two-owner state that {!validate} must detect. *)
+end

@@ -1,0 +1,21 @@
+(* Deliberately hazardous code: every rule of bin/lint.ml must fire on
+   this file.  Never built — it exists only as a negative test for the
+   lint (see the rule in test/dune). *)
+
+let _bad_random () = Random.int 10
+
+let _bad_time () = Sys.time ()
+
+let _bad_unix () = Unix.gettimeofday ()
+
+let _bad_table : (int, int) Hashtbl.t = Hashtbl.create ~random:true 16
+
+let _bad_order t = Hashtbl.iter (fun _ v -> print_int v) t
+
+let _bad_fold t = Hashtbl.fold (fun _ v acc -> v + acc) t 0
+
+let _bad_compare cont = cont = fun () -> ()
+
+let _bad_print () = Printf.printf "library code should not print\n"
+
+let _allowed () = Hashtbl.iter ignore (Hashtbl.create 1) (* lint: allow hashtbl-order *)

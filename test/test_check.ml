@@ -1,0 +1,241 @@
+(* Tests for the Check sanitizers: each checker must actually fire on a
+   violation, stay silent on legal executions, and the end-to-end
+   same-seed determinism property must hold under full checking. *)
+
+open Cm_engine
+open Cm_machine
+open Cm_memory
+open Thread.Infix
+
+(* Run [f] with all sanitizers enabled and checker state reset, restoring
+   the global toggle afterwards even when the test fails. *)
+let with_check f () =
+  Check.set_enabled true;
+  Check.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Check.set_enabled false;
+      Check.reset ())
+    f
+
+let expect_violation what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: no Check.Violation raised" what
+  | exception Check.Violation _ -> ()
+
+let machine () = Machine.create ~n_procs:4 ~costs:Costs.software ()
+
+(* ------------------------------------------------------------------ *)
+(* Continuation linearity                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_double_resume () =
+  let m = machine () in
+  let saved = ref None in
+  Machine.spawn m ~on:0 (Thread.await (fun ~resume -> saved := Some resume));
+  Machine.run m;
+  let resume = match !saved with Some r -> r | None -> Alcotest.fail "await never blocked" in
+  resume ();
+  expect_violation "second resume" (fun () -> resume ())
+
+let test_single_resume_ok () =
+  let m = machine () in
+  let saved = ref None in
+  let finished = ref false in
+  Machine.spawn m ~on:0
+    (let* () = Thread.await (fun ~resume -> saved := Some resume) in
+     finished := true;
+     Thread.return ());
+  Machine.run m;
+  (match !saved with Some r -> r () | None -> Alcotest.fail "await never blocked");
+  Machine.run m;
+  Alcotest.(check bool) "thread finished" true !finished;
+  Alcotest.(check int) "no outstanding continuations" 0 (Check.Linear.outstanding ())
+
+let test_dropped_continuation () =
+  let m = machine () in
+  Machine.spawn m ~on:0 (Thread.await (fun ~resume:_ -> ()));
+  Machine.run m;
+  Alcotest.(check bool) "dropped continuation is outstanding" true
+    (Check.Linear.outstanding () > 0);
+  Alcotest.(check bool) "await resume is reported" true
+    (List.exists
+       (fun what ->
+         (* substring test: label is "tid N: Thread.await resume" *)
+         String.length what >= 19
+         && String.sub what (String.length what - 19) 19 = "Thread.await resume")
+       (Check.Linear.outstanding_whats ()))
+
+(* ------------------------------------------------------------------ *)
+(* Event scheduling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_in_past () =
+  let sim = Sim.create () in
+  Sim.after sim 100 (fun () ->
+      match Sim.at sim 50 (fun () -> ()) with
+      | () -> Alcotest.fail "scheduling in the past was accepted"
+      | exception Invalid_argument _ -> ());
+  Sim.run sim
+
+(* ------------------------------------------------------------------ *)
+(* Lock discipline                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_release_by_non_holder () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let lock = Lock.create mem ~home:0 in
+  Machine.spawn m ~on:0 (Lock.acquire lock);
+  Machine.spawn m ~on:1
+    (let* () = Thread.sleep 5_000 in
+     (* well after the acquire completed *)
+     Lock.release lock);
+  expect_violation "release by non-holder" (fun () -> Machine.run m)
+
+let test_release_unheld () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let lock = Lock.create mem ~home:0 in
+  Machine.spawn m ~on:0 (Lock.release lock);
+  expect_violation "release of unheld lock" (fun () -> Machine.run m)
+
+let test_lock_roundtrip_ok () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let lock = Lock.create mem ~home:0 in
+  let inside = ref 0 in
+  for i = 0 to 2 do
+    Machine.spawn m ~on:i
+      (Lock.with_lock lock (fun () ->
+           incr inside;
+           Thread.compute 50))
+  done;
+  Machine.run m;
+  Alcotest.(check int) "all three critical sections ran" 3 !inside;
+  Alcotest.(check bool) "lock free at the end" true (Lock.holder_free lock)
+
+let test_release_read_without_acquire () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let rw = Rwlock.create mem ~home:0 in
+  Machine.spawn m ~on:0 (Rwlock.release_read rw);
+  expect_violation "release_read with zero readers" (fun () -> Machine.run m)
+
+let test_release_write_without_acquire () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let rw = Rwlock.create mem ~home:0 in
+  Machine.spawn m ~on:0 (Rwlock.release_write rw);
+  expect_violation "release_write with no writer" (fun () -> Machine.run m)
+
+let test_rwlock_roundtrip_ok () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let rw = Rwlock.create mem ~home:0 in
+  let reads = ref 0 in
+  Machine.spawn m ~on:0 (Rwlock.with_write rw (fun () -> Thread.compute 100));
+  for i = 1 to 3 do
+    Machine.spawn m ~on:i
+      (Rwlock.with_read rw (fun () ->
+           incr reads;
+           Thread.compute 20))
+  done;
+  Machine.run m;
+  Alcotest.(check int) "readers ran" 3 !reads;
+  Alcotest.(check bool) "rwlock free" true (Rwlock.free rw)
+
+(* ------------------------------------------------------------------ *)
+(* MSI directory invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_directory_clean_run () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let a = Shmem.alloc mem ~home:0 ~words:8 in
+  for i = 0 to 3 do
+    Machine.spawn m ~on:i
+      (Thread.repeat 20 (fun j ->
+           let* () = Shmem.write mem (a + ((i + j) mod 8)) ((i * 100) + j) in
+           let* _ = Shmem.read mem (a + (j mod 8)) in
+           Thread.return ()))
+  done;
+  Machine.run m;
+  (* Per-transaction checks ran throughout; the full sweep must agree. *)
+  Shmem.validate mem
+
+let test_two_owner_detected () =
+  let m = machine () in
+  let mem = Shmem.create m in
+  let a = Shmem.alloc mem ~home:0 ~words:1 in
+  Machine.spawn m ~on:1 (Shmem.write mem a 7);
+  Machine.run m;
+  Shmem.validate mem;
+  (* Plant a second Modified copy behind the directory's back. *)
+  Shmem.For_testing.force_second_owner mem a ~pid:2;
+  expect_violation "two-owner directory state" (fun () -> Shmem.validate mem)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism (qcheck)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let counting_digest ~seed =
+  Check.set_enabled true;
+  let config =
+    { Cm_experiments.Counting_run.default with
+      Cm_experiments.Counting_run.seed;
+      requesters = 4;
+      horizon = 30_000;
+      warmup = 3_000 }
+  in
+  let machine, _metrics =
+    Cm_experiments.Counting_run.run_with_machine Cm_experiments.Scheme.Sm config
+  in
+  Machine.digest machine
+
+let prop_same_seed_same_digest =
+  QCheck.Test.make ~name:"same-seed counting-network runs digest identically" ~count:4
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      Fun.protect
+        ~finally:(fun () ->
+          Check.set_enabled false;
+          Check.reset ())
+        (fun () -> String.equal (counting_digest ~seed) (counting_digest ~seed)))
+
+let qsuite props = List.map QCheck_alcotest.to_alcotest props
+
+let () =
+  Alcotest.run "cm_check"
+    [
+      ( "linearity",
+        [
+          Alcotest.test_case "double resume fires" `Quick (with_check test_double_resume);
+          Alcotest.test_case "single resume is silent" `Quick (with_check test_single_resume_ok);
+          Alcotest.test_case "dropped continuation is visible" `Quick
+            (with_check test_dropped_continuation);
+        ] );
+      ( "events",
+        [ Alcotest.test_case "past scheduling rejected" `Quick (with_check test_schedule_in_past) ]
+      );
+      ( "locks",
+        [
+          Alcotest.test_case "release by non-holder fires" `Quick
+            (with_check test_release_by_non_holder);
+          Alcotest.test_case "release of unheld lock fires" `Quick (with_check test_release_unheld);
+          Alcotest.test_case "legal lock use is silent" `Quick (with_check test_lock_roundtrip_ok);
+          Alcotest.test_case "release_read underflow fires" `Quick
+            (with_check test_release_read_without_acquire);
+          Alcotest.test_case "release_write without writer fires" `Quick
+            (with_check test_release_write_without_acquire);
+          Alcotest.test_case "legal rwlock use is silent" `Quick
+            (with_check test_rwlock_roundtrip_ok);
+        ] );
+      ( "msi",
+        [
+          Alcotest.test_case "contended run validates" `Quick (with_check test_directory_clean_run);
+          Alcotest.test_case "forced two-owner state fires" `Quick
+            (with_check test_two_owner_detected);
+        ] );
+      ("determinism", qsuite [ prop_same_seed_same_digest ]);
+    ]

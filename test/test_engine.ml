@@ -311,6 +311,14 @@ let test_trace_emit_lazy () =
       "should not run");
   Alcotest.(check bool) "closure not evaluated when off" false !evaluated
 
+let test_trace_eventf_lazy () =
+  Trace.set_level Trace.Quiet;
+  let formatted = ref false in
+  (* %t only invokes its printer during formatting, so it observes whether
+     the disabled path really skips the formatting work. *)
+  Trace.eventf "%t" (fun _ppf -> formatted := true);
+  Alcotest.(check bool) "no formatting when off" false !formatted
+
 (* ------------------------------------------------------------------ *)
 (* Heap / Sim edges                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -399,6 +407,7 @@ let () =
         [
           Alcotest.test_case "levels" `Quick test_trace_levels;
           Alcotest.test_case "lazy emit" `Quick test_trace_emit_lazy;
+          Alcotest.test_case "lazy eventf" `Quick test_trace_eventf_lazy;
         ] );
       ( "edges",
         [
