@@ -6,29 +6,46 @@
    that regenerates it (at reduced horizons, so the measurement loop
    stays tractable).
 
+   The Bechamel pass also emits a machine-readable JSON file — the
+   repository's perf-regression trajectory.  Each record carries the
+   OLS ns/run estimate plus, where the workload exposes its machine,
+   one instrumented run's simulated clock and event count, from which
+   the throughput figures simulated-cycles/sec and events/sec are
+   derived.  Perf PRs commit the refreshed file (BENCH_<pr>.json) and
+   CI runs the smoke mode so a hot-path regression fails the build.
+
    Usage:
-     dune exec bench/main.exe              reproduction rows + bechamel
-     dune exec bench/main.exe -- rows      reproduction rows only
-     dune exec bench/main.exe -- bench     bechamel timings only
-     dune exec bench/main.exe -- quick     reduced-horizon rows + bechamel
+     dune exec bench/main.exe               reproduction rows + bechamel
+     dune exec bench/main.exe -- rows       reproduction rows only
+     dune exec bench/main.exe -- bench [f]  bechamel + JSON (default BENCH_pr2.json)
+     dune exec bench/main.exe -- quick      reduced-horizon rows + bechamel
+     dune exec bench/main.exe -- smoke [f]  fast bechamel pass for CI
+                                            (default BENCH_smoke.json)
+     dune exec bench/main.exe -- one NAME   bechamel for a single spec, at the
+                                            full-bench horizons (iterating on
+                                            one row without the whole sweep)
 *)
 
 open Cm_experiments
 
-let bench_scheme_counting scheme requesters () =
-  ignore
-    (Counting_run.run scheme
-       {
-         Counting_run.default with
-         Counting_run.requesters;
-         horizon = 60_000;
-         warmup = 10_000;
-       })
+let counting_cfg ~horizon requesters =
+  {
+    Counting_run.default with
+    Counting_run.requesters;
+    horizon;
+    warmup = 10_000;
+  }
 
-let bench_scheme_btree scheme think () =
-  ignore
-    (Btree_run.run scheme
-       { Btree_run.default with Btree_run.think; horizon = 60_000; warmup = 10_000 })
+let btree_cfg ~horizon think =
+  { Btree_run.default with Btree_run.think; horizon; warmup = 10_000 }
+
+let fanout10_cfg ~horizon = { Btree_run.fanout10 with Btree_run.horizon = horizon; warmup = 10_000 }
+
+let bench_scheme_counting scheme ~horizon requesters () =
+  ignore (Counting_run.run scheme (counting_cfg ~horizon requesters))
+
+let bench_scheme_btree scheme ~horizon think () =
+  ignore (Btree_run.run scheme (btree_cfg ~horizon think))
 
 let bench_fig1 () =
   (* One large cell of the message-model sweep per mechanism. *)
@@ -38,52 +55,180 @@ let bench_fig1 () =
 
 let bench_table5 () = ignore (Table5.measure_one_migration ())
 
-let bechamel_tests =
-  let open Bechamel in
+(* One measured workload: the Bechamel thunk plus, where the experiment
+   exposes its machine, an instrumented single run for the simulated
+   clock / event-count the JSON throughput figures derive from. *)
+type spec = {
+  name : string;
+  thunk : unit -> unit;
+  probe : (unit -> Cm_machine.Machine.t) option;
+}
+
+let counting_spec name scheme ~horizon requesters =
+  {
+    name;
+    thunk = bench_scheme_counting scheme ~horizon requesters;
+    probe =
+      Some
+        (fun () ->
+          fst (Counting_run.run_with_machine scheme (counting_cfg ~horizon requesters)));
+  }
+
+let btree_spec name scheme ~horizon think =
+  {
+    name;
+    thunk = bench_scheme_btree scheme ~horizon think;
+    probe = Some (fun () -> fst (Btree_run.run_with_machine scheme (btree_cfg ~horizon think)));
+  }
+
+(* Horizons.  The full bench mode runs the two headline rows (fig2,
+   table1) long enough that the event loop — the thing the perf work
+   targets — dominates per-run machine construction; the remaining rows
+   get a moderate horizon, and the quick/smoke modes a short one so CI
+   stays fast.  Comparisons across revisions are only meaningful at
+   matching horizons (the JSON carries ns/run, not a normalized cost). *)
+let specs ~full =
+  let long = if full then 6_000_000 else 60_000 in
+  let mid = if full then 300_000 else 60_000 in
   [
-    Test.make ~name:"fig1:message-model" (Staged.stage bench_fig1);
-    Test.make ~name:"fig2:counting-throughput"
-      (Staged.stage (bench_scheme_counting (Scheme.Cp { hw = false; repl = false }) 32));
-    Test.make ~name:"fig3:counting-bandwidth"
-      (Staged.stage (bench_scheme_counting Scheme.Sm 32));
-    Test.make ~name:"table1:btree-throughput"
-      (Staged.stage (bench_scheme_btree (Scheme.Cp { hw = false; repl = false }) 0));
-    Test.make ~name:"table2:btree-bandwidth" (Staged.stage (bench_scheme_btree Scheme.Sm 0));
-    Test.make ~name:"table3:btree-think"
-      (Staged.stage (bench_scheme_btree (Scheme.Cp { hw = false; repl = true }) 10_000));
-    Test.make ~name:"table4:btree-think-bw" (Staged.stage (bench_scheme_btree Scheme.Sm 10_000));
-    Test.make ~name:"table5:migration-cost" (Staged.stage bench_table5);
-    Test.make ~name:"fanout10:small-nodes"
-      (Staged.stage (fun () ->
-           ignore
-             (Btree_run.run
-                (Scheme.Cp { hw = false; repl = true })
-                { Btree_run.fanout10 with Btree_run.horizon = 60_000; warmup = 10_000 })));
+    { name = "fig1:message-model"; thunk = bench_fig1; probe = None };
+    counting_spec "fig2:counting-throughput"
+      (Scheme.Cp { hw = false; repl = false })
+      ~horizon:long 32;
+    counting_spec "fig3:counting-bandwidth" Scheme.Sm ~horizon:mid 32;
+    btree_spec "table1:btree-throughput"
+      (Scheme.Cp { hw = false; repl = false })
+      ~horizon:long 0;
+    btree_spec "table2:btree-bandwidth" Scheme.Sm ~horizon:mid 0;
+    btree_spec "table3:btree-think" (Scheme.Cp { hw = false; repl = true }) ~horizon:mid 10_000;
+    btree_spec "table4:btree-think-bw" Scheme.Sm ~horizon:mid 10_000;
+    { name = "table5:migration-cost"; thunk = bench_table5; probe = None };
+    {
+      name = "fanout10:small-nodes";
+      thunk =
+        (fun () ->
+          ignore
+            (Btree_run.run (Scheme.Cp { hw = false; repl = true }) (fanout10_cfg ~horizon:mid)));
+      probe =
+        Some
+          (fun () ->
+            fst
+              (Btree_run.run_with_machine
+                 (Scheme.Cp { hw = false; repl = true })
+                 (fanout10_cfg ~horizon:mid)));
+    };
   ]
 
-let run_bechamel () =
-  print_endline "\n=== Bechamel micro-benchmarks (wall-clock of the regenerating sims) ===";
+type result = {
+  r_name : string;
+  ns_per_run : float option;
+  sim_cycles : int option;
+  events_fired : int option;
+}
+
+let measure ~quota ~limit spec =
   let open Bechamel in
+  let test = Test.make ~name:spec.name (Staged.stage spec.thunk) in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name measurements ->
-          let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-          let stats = Analyze.one ols Toolkit.Instance.monotonic_clock measurements in
-          match Analyze.OLS.estimates stats with
-          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
-          | Some _ | None -> Printf.printf "%-28s (no estimate)\n%!" name)
-        results)
-    bechamel_tests
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
+  let results = Benchmark.all cfg instances test in
+  let estimate = ref None in
+  Hashtbl.iter (* lint: allow hashtbl-order *)
+    (fun _name measurements ->
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let stats = Analyze.one ols Toolkit.Instance.monotonic_clock measurements in
+      match Analyze.OLS.estimates stats with
+      | Some [ est ] -> estimate := Some est
+      | Some _ | None -> ())
+    results;
+  let sim_cycles, events_fired =
+    match spec.probe with
+    | None -> (None, None)
+    | Some probe ->
+      let machine = probe () in
+      ( Some (Cm_machine.Machine.now machine),
+        Some (Cm_engine.Sim.events_fired machine.Cm_machine.Machine.sim) )
+  in
+  (match !estimate with
+  | Some est ->
+    let throughput =
+      match sim_cycles with
+      | Some cycles when est > 0. ->
+        Printf.sprintf "  %10.2e simcyc/s" (float_of_int cycles /. (est *. 1e-9))
+      | _ -> ""
+    in
+    Printf.printf "%-28s %12.0f ns/run%s\n%!" spec.name est throughput
+  | None -> Printf.printf "%-28s (no estimate)\n%!" spec.name);
+  { r_name = spec.name; ns_per_run = !estimate; sim_cycles; events_fired }
+
+(* Hand-rolled JSON writer — the container has no JSON library and the
+   schema is flat. *)
+let write_json ~mode path results =
+  let oc = open_out path in
+  let field_opt name pp = function None -> [] | Some v -> [ Printf.sprintf "%S: %s" name (pp v) ] in
+  let float_pp v = Printf.sprintf "%.6e" v in
+  let int_pp = string_of_int in
+  let record r =
+    let derived =
+      match (r.ns_per_run, r.sim_cycles, r.events_fired) with
+      | Some ns, Some cycles, Some events when ns > 0. ->
+        [
+          Printf.sprintf "%S: %s" "sim_cycles_per_sec" (float_pp (float_of_int cycles /. (ns *. 1e-9)));
+          Printf.sprintf "%S: %s" "events_per_sec" (float_pp (float_of_int events /. (ns *. 1e-9)));
+        ]
+      | _ -> []
+    in
+    let fields =
+      [ Printf.sprintf "%S: %S" "name" r.r_name ]
+      @ field_opt "ns_per_run" float_pp r.ns_per_run
+      @ field_opt "sim_cycles" int_pp r.sim_cycles
+      @ field_opt "events_fired" int_pp r.events_fired
+      @ derived
+    in
+    "    {" ^ String.concat ", " fields ^ "}"
+  in
+  Printf.fprintf oc "{\n  \"schema\": \"cm-bench/1\",\n  \"mode\": %S,\n  \"tests\": [\n%s\n  ]\n}\n"
+    mode
+    (String.concat ",\n" (List.map record results));
+  close_out oc;
+  Printf.printf "wrote %s (%d tests)\n%!" path (List.length results)
+
+let run_bechamel ?only ~mode ~quota ~limit ~full ~json () =
+  print_endline "\n=== Bechamel micro-benchmarks (wall-clock of the regenerating sims) ===";
+  let selected =
+    match only with
+    | None -> specs ~full
+    | Some name -> (
+      match List.filter (fun s -> s.name = name) (specs ~full) with
+      | [] ->
+        List.iter (fun s -> prerr_endline s.name) (specs ~full);
+        failwith ("no such spec: " ^ name)
+      | l -> l)
+  in
+  let results = List.map (measure ~quota ~limit) selected in
+  match json with Some path -> write_json ~mode path results | None -> ()
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let json_arg default = if Array.length Sys.argv > 2 then Sys.argv.(2) else default in
   let quick = mode = "quick" in
-  if mode <> "bench" then begin
+  if mode <> "bench" && mode <> "smoke" && mode <> "one" then begin
     print_endline "Reproduction of every table and figure (see EXPERIMENTS.md for discussion):";
     Registry.run_all ~quick ()
   end;
-  if mode <> "rows" then run_bechamel ()
+  match mode with
+  | "rows" -> ()
+  | "bench" ->
+    run_bechamel ~mode ~quota:3.0 ~limit:500 ~full:true
+      ~json:(Some (json_arg "BENCH_pr2.json"))
+      ()
+  | "smoke" ->
+    (* Fast pass for CI: enough to catch gross hot-path regressions and
+       prove the measurement/JSON plumbing works. *)
+    run_bechamel ~mode ~quota:0.05 ~limit:20 ~full:false
+      ~json:(Some (json_arg "BENCH_smoke.json"))
+      ()
+  | "one" ->
+    run_bechamel ~only:(json_arg "table1:btree-throughput") ~mode ~quota:3.0 ~limit:500
+      ~full:true ~json:None ()
+  | _ -> run_bechamel ~mode ~quota:0.5 ~limit:200 ~full:false ~json:None ()

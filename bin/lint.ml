@@ -20,6 +20,15 @@
      printf           Printf.printf / Format.printf / print_* in library
                       code: report output belongs to the experiments'
                       report layer, diagnostics to Cm_engine.Trace.
+     poly-compare     Stdlib.compare / Pervasives.compare passed around
+                      as a bare comparison-function value (List.sort
+                      compare, Heap.create ~cmp:compare, ...) in the
+                      hot-path libraries lib/engine, lib/machine,
+                      lib/memory: the polymorphic runtime comparator
+                      defeats specialization on every element — use
+                      Int.compare / String.compare or a monomorphic
+                      comparator.  Direct applications (compare a b) are
+                      specialized by the compiler and not flagged.
 
    Suppression: a finding is allowed when its line (or the line above)
    carries "(* lint: allow <rule> *)", or the file carries
@@ -68,7 +77,7 @@ let suppressed lines ~line ~rule =
 (* The rules                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+let strip_stdlib = function ("Stdlib" | "Pervasives") :: rest -> rest | path -> path
 
 let ident_path e =
   match e.Parsetree.pexp_desc with
@@ -114,6 +123,17 @@ let closure_suspect (e : Parsetree.expression) =
 
 let polymorphic_compare = function [ ("=" | "<>" | "compare") ] -> true | _ -> false
 
+(* poly-compare is scoped to the simulation hot-path libraries (plus the
+   negative fixture, which must exercise every rule). *)
+let poly_compare_scope = [ "lib/engine"; "lib/machine"; "lib/memory"; "fixtures" ]
+
+let poly_compare_applies file = List.exists (contains file) poly_compare_scope
+
+(* Offsets of expressions in function (head) position of an application;
+   the iterator visits the application before its head, so heads are
+   recorded before the ident check below sees them. *)
+let applied_heads : (int, unit) Hashtbl.t = Hashtbl.create 256
+
 let hashtbl_create_random args =
   List.exists
     (fun (label, (arg : Parsetree.expression)) ->
@@ -146,10 +166,19 @@ let check_expr ~file (e : Parsetree.expression) =
       report ~file ~line ~rule:"printf"
         (Printf.sprintf "%s prints from library code; route through Cm_engine.Trace or the \
                          report layer"
-           (String.concat "." path)))
+           (String.concat "." path));
+    if
+      path = [ "compare" ]
+      && poly_compare_applies file
+      && not (Hashtbl.mem applied_heads e.pexp_loc.Location.loc_start.Lexing.pos_cnum)
+    then
+      report ~file ~line ~rule:"poly-compare"
+        "polymorphic compare used as a comparison-function value; use Int.compare / \
+         String.compare or a monomorphic comparator")
   | None -> ());
   match e.pexp_desc with
   | Pexp_apply (fn, args) -> (
+    Hashtbl.replace applied_heads fn.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_cnum ();
     (match ident_path fn with
     | Some [ "Hashtbl"; "create" ] when hashtbl_create_random args ->
       report ~file ~line ~rule:"determinism"
@@ -165,6 +194,7 @@ let check_expr ~file (e : Parsetree.expression) =
   | _ -> ()
 
 let lint_file file =
+  Hashtbl.reset applied_heads;
   let ast =
     let ic = open_in_bin file in
     Fun.protect

@@ -138,8 +138,13 @@ let selfcheck full =
       match (sanitized_run entry ~quick, sanitized_run entry ~quick) with
       | (Ok (), trail1, out1), (Ok (), trail2, out2) ->
         if trail1 = trail2 && String.equal out1 out2 then
-          Printf.printf "selfcheck %-10s ok: %d machine run(s) identical, report %s\n" id
-            (List.length trail1)
+          (* The machine digest is printed so that a semantics-preserving
+             change (e.g. a perf PR) can diff this output against the
+             previous revision's and prove bit-identical behavior, not
+             just within-revision reproducibility. *)
+          Printf.printf "selfcheck %-10s ok: %d machine run(s) identical, machines %s report %s\n"
+            id (List.length trail1)
+            (String.sub (Digest.to_hex (Digest.string (String.concat "," trail1))) 0 12)
             (String.sub out1 0 (min 12 (String.length out1)))
         else begin
           incr failures;

@@ -54,7 +54,7 @@ let chunk ~size items =
 
 let build_plan ~keys ~fanout ~fill =
   if fanout < 4 then invalid_arg "Btree_node.build_plan: fanout must be >= 4";
-  let keys = List.sort_uniq compare keys in
+  let keys = List.sort_uniq Int.compare keys in
   if keys = [] then invalid_arg "Btree_node.build_plan: no keys";
   let target = max 2 (min fanout (int_of_float (fill *. float_of_int fanout +. 0.5))) in
   let leaves =

@@ -45,7 +45,7 @@ type t = {
   mutable n_splits : int;
 }
 
-let mem t = t.env.Sysenv.mem
+let mem t = Sysenv.mem t.env
 
 let node_block_words t = off_entries + (2 * t.cap)
 
@@ -127,7 +127,7 @@ let materialize t plan =
 let create env ?(read_mode = Locked) ~fanout ~plan ~node_procs ~placement_seed () =
   if fanout < 4 then invalid_arg "Btree_sm.create: fanout must be >= 4";
   if Array.length node_procs = 0 then invalid_arg "Btree_sm.create: no node processors";
-  let anchor_lock = Lock.create env.Sysenv.mem ~home:node_procs.(0) in
+  let anchor_lock = Lock.create (Sysenv.mem env) ~home:node_procs.(0) in
   let t =
     {
       env;

@@ -76,7 +76,7 @@ let create env ?(width = 8) ?(sm_sync = Lock_per_balancer) ?(lock_backoff = (512
       in
       Msg { bals; cnts; access }
     | Shared_memory ->
-      let mem = env.Sysenv.mem in
+      let mem = Sysenv.mem env in
       let bal_addr =
         Array.init n (fun b ->
             let top, bot = Balancer_net.outputs net b in
@@ -132,7 +132,7 @@ let traverse_msg t ~bals ~cnts ~access ~input_wire =
      go (Balancer_net.input t.net input_wire))
 
 let traverse_sm t ~bal_addr ~locks ~cnt_addr ~sync ~input_wire =
-  let mem = t.env.Sysenv.mem in
+  let mem = Sysenv.mem t.env in
   let w = width t in
   let rec go dest =
     match dest with
@@ -178,7 +178,7 @@ let traverse t ~input_wire =
 let output_counts t =
   match t.repr with
   | Msg { cnts; _ } -> Array.map (fun o -> (Prelude.obj_state o).count) cnts
-  | Sm { cnt_addr; _ } -> Array.map (fun a -> Shmem.peek t.env.Sysenv.mem a) cnt_addr
+  | Sm { cnt_addr; _ } -> Array.map (fun a -> Shmem.peek (Sysenv.mem t.env) a) cnt_addr
 
 let tokens_delivered t = Array.fold_left ( + ) 0 (output_counts t)
 

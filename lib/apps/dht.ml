@@ -68,7 +68,7 @@ let create env ?(buckets = 64) ?(bucket_capacity = 64) ~mode ~node_procs () =
           scan_site = Adaptive.site ad ~name:"dht.range_sum";
         }
     | Shared_memory ->
-      let mem = env.Sysenv.mem in
+      let mem = Sysenv.mem env in
       Sm
         {
           mem;
@@ -250,7 +250,10 @@ let contents t =
                  ( Shmem.peek mem (base + off_pairs + (2 * s)),
                    Shmem.peek mem (base + off_pairs + (2 * s) + 1) )))
   in
-  List.sort compare pairs
+  List.sort
+    (fun (k1, v1) (k2, v2) ->
+      match Int.compare k1 k2 with 0 -> Int.compare v1 v2 | c -> c)
+    pairs
 
 let size t = List.length (contents t)
 

@@ -12,11 +12,16 @@ open Cm_machine
 type t = {
   machine : Machine.t;
   prelude : Cm_core.Prelude.t;
-  mem : Cm_memory.Shmem.t;
+  shmem : Cm_memory.Shmem.t Lazy.t;
 }
 
 val make : ?shmem_config:Cm_memory.Shmem.config -> Machine.t -> t
-(** [make machine] attaches both substrates to [machine]. *)
+(** [make machine] attaches both substrates to [machine].  The
+    shared-memory substrate (a cache per processor) is allocated on
+    first use — message-passing modes never pay for it. *)
+
+val mem : t -> Cm_memory.Shmem.t
+(** The coherent shared memory, built on first call. *)
 
 val runtime : t -> Cm_runtime.Runtime.t
 (** The message-passing runtime underlying [prelude]. *)

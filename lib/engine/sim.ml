@@ -1,32 +1,91 @@
 type event = { time : int; seq : int; action : unit -> unit }
 
+(* The event queue is a binary min-heap specialized to events, ordered
+   by (time, seq) with direct int comparisons — no closure call or
+   polymorphic compare per sift step.  The algorithm is the same as
+   {!Heap} (same sift paths), and (time, seq) is a total order because
+   [seq] is unique, so extraction order — and therefore every run — is
+   identical to what the generic heap produced. *)
+
 type t = {
   mutable clock : int;
   mutable next_seq : int;
   mutable fired : int;
-  queue : event Heap.t;
+  mutable data : event array;
+  mutable size : int;
 }
 
 exception Stop
 
-let compare_event a b = if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+(* Strict (time, seq) order; never called on equal keys. *)
+let[@inline] before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let create () = { clock = 0; next_seq = 0; fired = 0; queue = Heap.create ~cmp:compare_event }
+let dummy_event = { time = min_int; seq = min_int; action = ignore }
+
+let create () = { clock = 0; next_seq = 0; fired = 0; data = [||]; size = 0 }
 
 let now t = t.clock
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.data) in
+  let data = Array.make cap dummy_event in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < t.size && before t.data.(left) t.data.(i) then left else i in
+  let smallest =
+    if right < t.size && before t.data.(right) t.data.(smallest) then right else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(smallest);
+    t.data.(smallest) <- tmp;
+    sift_down t smallest
+  end
+
+let push t e =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  (* Precondition: t.size > 0. *)
+  let min = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  (* Clear the vacated slot so fired actions don't linger reachable. *)
+  t.data.(t.size) <- dummy_event;
+  min
 
 let at t time action =
   if time < t.clock then
     invalid_arg (Printf.sprintf "Sim.at: time %d is before now (%d)" time t.clock);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.queue { time; seq; action }
+  push t { time; seq; action }
 
 let after t delay =
   if delay < 0 then invalid_arg "Sim.after: negative delay";
   at t (t.clock + delay)
 
-let pending t = Heap.length t.queue
+let pending t = t.size
 
 let fire t e =
   if Check.enabled () && e.time < t.clock then
@@ -36,22 +95,22 @@ let fire t e =
   e.action ()
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some e ->
-    fire t e;
+  if t.size = 0 then false
+  else begin
+    fire t (pop_min t);
     true
+  end
 
 let run ?until t =
   let horizon = match until with Some h -> h | None -> max_int in
   let rec loop () =
-    match Heap.peek t.queue with
-    | None -> ()
-    | Some e when e.time > horizon -> t.clock <- horizon
-    | Some _ ->
-      let e = Heap.pop_exn t.queue in
-      fire t e;
-      loop ()
+    if t.size > 0 then begin
+      if t.data.(0).time > horizon then t.clock <- horizon
+      else begin
+        fire t (pop_min t);
+        loop ()
+      end
+    end
   in
   try loop () with Stop -> ()
 

@@ -1,8 +1,15 @@
 type summary = { count : int; sum : float; min : float; max : float }
 
-type dist = { mutable d_count : int; mutable d_sum : float; mutable d_min : float; mutable d_max : float }
+(* Accumulator cells stored in the registry tables.  Handles (below) bind
+   to these cells so hot paths touch a bare ref/record, not the table. *)
+type dist_cell = {
+  mutable d_count : int;
+  mutable d_sum : float;
+  mutable d_min : float;
+  mutable d_max : float;
+}
 
-type t = { counters : (string, int ref) Hashtbl.t; dists : (string, dist) Hashtbl.t }
+type t = { counters : (string, int ref) Hashtbl.t; dists : (string, dist_cell) Hashtbl.t }
 
 let create () = { counters = Hashtbl.create 64; dists = Hashtbl.create 16 }
 
@@ -22,7 +29,7 @@ let add t name n =
 
 let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-let dist_ref t name =
+let dist_cell t name =
   match Hashtbl.find_opt t.dists name with
   | Some d -> d
   | None ->
@@ -30,18 +37,77 @@ let dist_ref t name =
     Hashtbl.add t.dists name d;
     d
 
-let observe t name v =
-  let d = dist_ref t name in
+let observe_cell d v =
   d.d_count <- d.d_count + 1;
   d.d_sum <- d.d_sum +. v;
   if v < d.d_min then d.d_min <- v;
   if v > d.d_max then d.d_max <- v
 
-let summary_of_dist d = { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max }
+let observe t name v = observe_cell (dist_cell t name) v
+
+(* --- Interned handles ---------------------------------------------- *)
+
+(* A handle memoizes the registry cell for one name so that steady-state
+   updates are a single branch plus a ref update — no hashing, no string
+   traversal.  Binding to the registry is lazy: creating a handle does
+   NOT create the counter.  A name only appears in listings/merges/
+   digests once it is first written, through either API, exactly as the
+   string API behaves — so pre-resolving handles at subsystem
+   construction time cannot perturb reports or determinism digests. *)
+
+type counter = { c_stats : t; c_name : string; mutable c_cell : int ref option }
+
+let counter t name = { c_stats = t; c_name = name; c_cell = Hashtbl.find_opt t.counters name }
+
+module Counter = struct
+  let name c = c.c_name
+
+  let cell c =
+    match c.c_cell with
+    | Some r -> r
+    | None ->
+      (* Bind to the registry's cell (adopting one the string API may
+         have created since the handle was made). *)
+      let r = counter_ref c.c_stats c.c_name in
+      c.c_cell <- Some r;
+      r
+
+  let add c n =
+    let r = cell c in
+    r := !r + n
+
+  let incr c =
+    let r = cell c in
+    r := !r + 1
+
+  let get c = match c.c_cell with Some r -> !r | None -> get c.c_stats c.c_name
+end
+
+type dist = { o_stats : t; o_name : string; mutable o_cell : dist_cell option }
+
+let dist t name = { o_stats = t; o_name = name; o_cell = Hashtbl.find_opt t.dists name }
+
+module Dist = struct
+  let name d = d.o_name
+
+  let cell d =
+    match d.o_cell with
+    | Some c -> c
+    | None ->
+      let c = dist_cell d.o_stats d.o_name in
+      d.o_cell <- Some c;
+      c
+
+  let observe d v = observe_cell (cell d) v
+end
+
+(* --- Read-out ------------------------------------------------------ *)
+
+let summary_of_cell d = { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max }
 
 let summary t name =
   match Hashtbl.find_opt t.dists name with
-  | Some d -> summary_of_dist d
+  | Some d -> summary_of_cell d
   | None -> { count = 0; sum = 0.; min = infinity; max = neg_infinity }
 
 let mean t name =
@@ -55,7 +121,7 @@ let counters t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let distributions t =
-  Hashtbl.fold (fun name d acc -> (name, summary_of_dist d) :: acc) t.dists [] (* lint: allow hashtbl-order *)
+  Hashtbl.fold (fun name d acc -> (name, summary_of_cell d) :: acc) t.dists [] (* lint: allow hashtbl-order *)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let merge_into ~dst src =
@@ -63,7 +129,7 @@ let merge_into ~dst src =
   Hashtbl.iter (fun name r -> add dst name !r) src.counters (* lint: allow hashtbl-order *);
   Hashtbl.iter (* lint: allow hashtbl-order *)
     (fun name d ->
-      let target = dist_ref dst name in
+      let target = dist_cell dst name in
       target.d_count <- target.d_count + d.d_count;
       target.d_sum <- target.d_sum +. d.d_sum;
       if d.d_min < target.d_min then target.d_min <- d.d_min;

@@ -24,6 +24,56 @@ val get : t -> string -> int
 (** [get t name] is the current value of counter [name], or 0 if it was
     never written. *)
 
+(** {1 Interned handles}
+
+    The string-keyed operations above hash the name on every call.  Hot
+    paths (one update per simulated message or memory access) instead
+    resolve a handle once and update through it: steady-state
+    {!Counter.incr}/{!Counter.add}/{!Dist.observe} are a branch and a
+    ref/record update — no hashing, no allocation.
+
+    Handles bind to the registry lazily: {!counter}/{!dist} do not
+    create the underlying counter, so a name first appears in
+    {!counters}/{!distributions}/{!merge_into} only once it is written —
+    exactly the observable behavior of the string API.  Both APIs may be
+    mixed freely on the same name; they converge on the same cell. *)
+
+type counter
+(** An interned handle to one named counter of one registry. *)
+
+val counter : t -> string -> counter
+(** [counter t name] is a handle to counter [name] of [t].  O(1) updates
+    thereafter; does not create the counter until first written. *)
+
+module Counter : sig
+  val incr : counter -> unit
+  (** [incr c] adds 1 — equivalent to {!val-incr} on the same name. *)
+
+  val add : counter -> int -> unit
+  (** [add c n] adds [n] — equivalent to {!val-add} on the same name. *)
+
+  val get : counter -> int
+  (** [get c] is the current value (0 if never written). *)
+
+  val name : counter -> string
+  (** The name the handle was interned under. *)
+end
+
+type dist
+(** An interned handle to one named distribution of one registry. *)
+
+val dist : t -> string -> dist
+(** [dist t name] is a handle to distribution [name] of [t]; lazy like
+    {!counter}. *)
+
+module Dist : sig
+  val observe : dist -> float -> unit
+  (** [observe d v] records one sample — equivalent to {!val-observe}. *)
+
+  val name : dist -> string
+  (** The name the handle was interned under. *)
+end
+
 (** {1 Distributions} *)
 
 val observe : t -> string -> float -> unit

@@ -124,7 +124,7 @@ let replication_ablation () =
     Machine.run machine;
     let root = Processor.busy_cycles (Machine.proc machine (Btree.root_home tree)) in
     let busy = Array.init node_procs (fun p -> Processor.busy_cycles (Machine.proc machine p)) in
-    Array.sort (fun a b -> compare b a) busy;
+    Array.sort (fun a b -> Int.compare b a) busy;
     (root, busy.(0), Machine.now machine)
   in
   let root0, hot0, t0 = run false in

@@ -1,38 +1,70 @@
 open Cm_engine
 
+(* An interned message kind: the per-kind traffic counters resolved
+   once, so a send does not rebuild "net.words.<kind>" strings or hash
+   them per message. *)
+type kind = {
+  k_name : string;
+  k_words : Stats.counter;
+  k_messages : Stats.counter;
+}
+
 type t = {
   sim : Sim.t;
   topo : Topology.t;
+  size : int;
   costs : Costs.t;
   stats : Stats.t;
   contention : bool;
   link_bandwidth : int;  (* words per cycle per link *)
-  links : (int * int, int ref) Hashtbl.t;  (* directed link -> free-at time *)
+  links : int array;  (* directed link src*size+dst -> free-at time; empty unless contention *)
+  kinds : (string, kind) Hashtbl.t;
+  words_c : Stats.counter;
+  messages_c : Stats.counter;
+  contended_c : Stats.counter;
   mutable words : int;
   mutable messages : int;
 }
 
 let create ?(contention = false) ?(link_bandwidth = 1) ~sim ~topo ~costs ~stats () =
   if link_bandwidth <= 0 then invalid_arg "Network.create: link bandwidth must be positive";
+  let size = Topology.size topo in
   {
     sim;
     topo;
+    size;
     costs;
     stats;
     contention;
     link_bandwidth;
-    links = Hashtbl.create 256;
+    (* Links are dense by construction (both endpoints < size), so the
+       free-at times live in a flat array — no tuple key allocation or
+       polymorphic hashing per routed hop.  Only the contention model
+       reads them, so the array is elided otherwise. *)
+    links = (if contention then Array.make (size * size) 0 else [||]);
+    kinds = Hashtbl.create 16;
+    words_c = Stats.counter stats "net.words";
+    messages_c = Stats.counter stats "net.messages";
+    contended_c = Stats.counter stats "net.contended_cycles";
     words = 0;
     messages = 0;
   }
 
-let link_free_at t link =
-  match Hashtbl.find_opt t.links link with
-  | Some r -> r
+let kind t name =
+  match Hashtbl.find_opt t.kinds name with
+  | Some k -> k
   | None ->
-    let r = ref 0 in
-    Hashtbl.add t.links link r;
-    r
+    let k =
+      {
+        k_name = name;
+        k_words = Stats.counter t.stats ("net.words." ^ name);
+        k_messages = Stats.counter t.stats ("net.messages." ^ name);
+      }
+    in
+    Hashtbl.add t.kinds name k;
+    k
+
+let kind_name k = k.k_name
 
 (* Store-and-forward over the message's route: each link is occupied for
    the message's transmission time and messages sharing a link queue
@@ -42,19 +74,19 @@ let contended_latency t ~src ~dst ~wire_words =
   let now = Sim.now t.sim in
   let cursor = ref (now + t.costs.Costs.net_base) in
   List.iter
-    (fun link ->
-      let free = link_free_at t link in
-      let start = max !cursor !free in
-      free := start + occupancy;
+    (fun (a, b) ->
+      let link = (a * t.size) + b in
+      let start = max !cursor t.links.(link) in
+      t.links.(link) <- start + occupancy;
       cursor := start + occupancy + t.costs.Costs.net_per_hop)
     (Topology.route t.topo ~src ~dst);
   if !cursor - now > 0 then begin
-    Stats.add t.stats "net.contended_cycles" (!cursor - now);
+    Stats.Counter.add t.contended_c (!cursor - now);
     !cursor - now
   end
   else 1
 
-let send t ~src ~dst ~words ~kind deliver =
+let send_k t ~src ~dst ~words ~kind deliver =
   if words < 0 then invalid_arg "Network.send: negative size";
   let hops = Topology.hops t.topo ~src ~dst in
   let wire_words = words + t.costs.Costs.header_words in
@@ -63,17 +95,18 @@ let send t ~src ~dst ~words ~kind deliver =
     else Costs.transit t.costs ~hops ~words
   in
   t.words <- t.words + wire_words;
-  
   t.messages <- t.messages + 1;
-  Stats.add t.stats "net.words" wire_words;
-  Stats.incr t.stats "net.messages";
-  Stats.add t.stats ("net.words." ^ kind) wire_words;
-  Stats.incr t.stats ("net.messages." ^ kind);
+  Stats.Counter.add t.words_c wire_words;
+  Stats.Counter.incr t.messages_c;
+  Stats.Counter.add kind.k_words wire_words;
+  Stats.Counter.incr kind.k_messages;
   if Trace.enabled Trace.Events then
-    Trace.eventf ~time:(Sim.now t.sim) "net: %s %d->%d %dw (%d hops, %d cyc)" kind src dst
-      wire_words hops latency;
+    Trace.eventf ~time:(Sim.now t.sim) "net: %s %d->%d %dw (%d hops, %d cyc)" kind.k_name src
+      dst wire_words hops latency;
   Sim.after t.sim latency deliver;
   latency
+
+let send t ~src ~dst ~words ~kind:name deliver = send_k t ~src ~dst ~words ~kind:(kind t name) deliver
 
 let total_words t = t.words
 

@@ -43,6 +43,30 @@ val send :
     Self-sends ([src = dst]) are allowed and modelled as a 0-hop message
     (loopback still pays the base latency). *)
 
+(** {1 Interned kinds}
+
+    [send] interns its [kind] label on every call (one small hashtable
+    lookup).  Subsystems on the per-message hot path — the coherence
+    protocol sends several messages per miss — resolve the kind once at
+    construction time and use {!send_k} instead, making traffic
+    attribution two bare counter updates. *)
+
+type kind
+(** An interned message kind: the label plus its pre-resolved
+    ["net.words.<kind>"] / ["net.messages.<kind>"] counters. *)
+
+val kind : t -> string -> kind
+(** [kind t name] interns [name] (idempotent).  The per-kind counters
+    are created lazily on first send, so interning a kind that is never
+    sent leaves the statistics untouched. *)
+
+val kind_name : kind -> string
+(** The label [kind] was interned under. *)
+
+val send_k :
+  t -> src:int -> dst:int -> words:int -> kind:kind -> (unit -> unit) -> int
+(** [send_k] is {!send} with a pre-interned kind. *)
+
 val total_words : t -> int
 (** [total_words t] is the number of words (payload + headers) injected so
     far. *)

@@ -3,7 +3,7 @@ open Cm_engine
 type t = {
   id : int;
   sim : Sim.t;
-  stats : Stats.t;
+  dispatches : Stats.counter;  (* lazily bound — registered on first dispatch *)
   scheduler_cost : int;
   runq : (unit -> unit) Queue.t;
   mutable busy : bool;
@@ -11,7 +11,15 @@ type t = {
 }
 
 let create ~sim ~stats ~scheduler_cost ~id =
-  { id; sim; stats; scheduler_cost; runq = Queue.create (); busy = false; busy_cycles = 0 }
+  {
+    id;
+    sim;
+    dispatches = Stats.counter stats "proc.dispatches";
+    scheduler_cost;
+    runq = Queue.create ();
+    busy = false;
+    busy_cycles = 0;
+  }
 
 let id p = p.id
 
@@ -44,7 +52,7 @@ let rec dispatch p =
   | None -> ()
   | Some task ->
     p.busy <- true;
-    Stats.incr p.stats "proc.dispatches";
+    Stats.Counter.incr p.dispatches;
     p.busy_cycles <- p.busy_cycles + p.scheduler_cost;
     Sim.after p.sim p.scheduler_cost task
 

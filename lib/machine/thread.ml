@@ -59,7 +59,7 @@ let stall register c k =
            Processor.charge p (Sim.now (Processor.sim p) - start);
            k v))
 
-let travel ~net ~dst ~words ~kind ~recv_work c k =
+let travel_k ~net ~dst ~words ~kind ~recv_work c k =
   let src = c.location in
   let deliver =
     guard "Thread.travel delivery" c (fun () ->
@@ -68,9 +68,12 @@ let travel ~net ~dst ~words ~kind ~recv_work c k =
             Processor.hold dst recv_work k))
   in
   let (_ : int) =
-    Network.send net ~src:(Processor.id src) ~dst:(Processor.id dst) ~words ~kind deliver
+    Network.send_k net ~src:(Processor.id src) ~dst:(Processor.id dst) ~words ~kind deliver
   in
   Processor.release src
+
+let travel ~net ~dst ~words ~kind ~recv_work c k =
+  travel_k ~net ~dst ~words ~kind:(Network.kind net kind) ~recv_work c k
 
 let next_tid = ref 0
 

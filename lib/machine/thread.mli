@@ -86,6 +86,16 @@ val travel :
     still sent when [dst] is the current processor (callers should test
     locality first — the runtime's forwarding check does). *)
 
+val travel_k :
+  net:Network.t ->
+  dst:Processor.t ->
+  words:int ->
+  kind:Network.kind ->
+  recv_work:int ->
+  unit t
+(** {!travel} with a pre-interned message kind — callers that migrate on
+    every access resolve the kind once at setup instead of per message. *)
+
 (** {1 Spawning} *)
 
 val spawn :

@@ -4,7 +4,13 @@ type state = Shared | Modified
 
 type slot = { mutable tag : int; mutable st : state; mutable data : int array }
 
-type t = { slots : slot array; words_per_line : int; stats : Stats.t }
+type t = {
+  slots : slot array;
+  words_per_line : int;
+  stats : Stats.t;
+  hits : Stats.counter;
+  misses : Stats.counter;
+}
 
 let no_line = -1
 
@@ -14,6 +20,10 @@ let create ~n_slots ~line_words ~stats =
     slots = Array.init n_slots (fun _ -> { tag = no_line; st = Shared; data = [||] });
     words_per_line = line_words;
     stats;
+    (* Handles bind lazily: the counters appear in [stats] on the first
+       recorded access, not at cache creation. *)
+    hits = Stats.counter stats "cache.hits";
+    misses = Stats.counter stats "cache.misses";
   }
 
 let line_words t = t.words_per_line
@@ -39,7 +49,13 @@ let insert t ~line ~state ~data =
   in
   s.tag <- line;
   s.st <- state;
-  s.data <- Array.copy data;
+  (* Reuse the slot's array when it fits — one allocation saved per miss
+     fill.  A modified victim's data escapes through [evicted] for
+     write-back, so only then must the slot take a fresh copy. *)
+  let must_preserve = match evicted with Some e -> e.was_modified | None -> false in
+  if (not must_preserve) && Array.length s.data = Array.length data then
+    Array.blit data 0 s.data 0 (Array.length data)
+  else s.data <- Array.copy data;
   evicted
 
 let set_state t ~line st =
@@ -60,9 +76,9 @@ let invalidate t ~line =
 let resident_lines t =
   Array.fold_left (fun acc s -> if s.tag <> no_line then acc + 1 else acc) 0 t.slots
 
-let record_hit t = Stats.incr t.stats "cache.hits"
+let record_hit t = Stats.Counter.incr t.hits
 
-let record_miss t = Stats.incr t.stats "cache.misses"
+let record_miss t = Stats.Counter.incr t.misses
 
 let hit_rate ~stats =
   let hits = Stats.get stats "cache.hits" and misses = Stats.get stats "cache.misses" in

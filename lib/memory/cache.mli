@@ -28,7 +28,9 @@ val state : t -> line:int -> state option
 (** [state t ~line] is the coherence state of [line] if resident. *)
 
 type evicted = { line : int; was_modified : bool; data : int array }
-(** Description of a line displaced by {!insert}. *)
+(** Description of a line displaced by {!insert}.  [data] is only
+    meaningful when [was_modified] — a clean victim's array may be
+    reused as the incoming line's storage. *)
 
 val insert : t -> line:int -> state:state -> data:int array -> evicted option
 (** [insert t ~line ~state ~data] makes [line] resident with a private

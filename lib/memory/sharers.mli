@@ -1,0 +1,47 @@
+(** Compact sharer sets for the coherence directory.
+
+    A persistent set of processor ids over a universe [[0, n)] fixed at
+    creation.  For [n <= 62] the set is a single immediate int bitmask —
+    membership updates allocate nothing — and above that a copy-on-write
+    [Bytes] bitmap.  Semantically equivalent to [Set.Make(Int)]
+    restricted to the universe (the property tests assert this),
+    including ascending iteration order, which keeps invalidation
+    message order — and therefore run digests — unchanged relative to
+    the AVL representation it replaced.
+
+    Values from universes of different sizes must not be mixed; the
+    directory creates all sets for one machine with the same [n]. *)
+
+type t
+
+val empty : n:int -> t
+(** [empty ~n] is the empty set over universe [[0, n)].  Raises
+    [Invalid_argument] when [n <= 0]. *)
+
+val singleton : n:int -> int -> t
+(** [singleton ~n p] is [add p (empty ~n)]. *)
+
+val add : int -> t -> t
+(** [add p s] is [s] with [p] included.  Raises [Invalid_argument] when
+    [p] is outside the representation's capacity ([small_limit] bits for
+    small universes, the bitmap length otherwise).  Pids in the slack
+    between [n] and that capacity are not distinguished from universe
+    members — callers pass machine processor ids, which are always below
+    [n]. *)
+
+val remove : int -> t -> t
+(** [remove p s] is [s] without [p]. *)
+
+val mem : int -> t -> bool
+(** [mem p s] is membership of [p]. *)
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Number of members. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f s] applies [f] to every member in ascending order. *)
+
+val to_list : t -> int list
+(** Members in ascending order. *)

@@ -1,8 +1,6 @@
 open Cm_engine
 open Cm_machine
 
-module ISet = Set.Make (Int)
-
 type config = {
   line_words : int;
   cache_slots : int;
@@ -17,7 +15,7 @@ let default_config =
 type addr = int
 
 (* Directory state of one line, held at its home node. *)
-type dir_state = Uncached | Shared_by of ISet.t | Owned of int
+type dir_state = Uncached | Shared_by of Sharers.t | Owned of int
 
 type line_info = {
   home : int;
@@ -26,13 +24,47 @@ type line_info = {
   mutable busy_until : int;  (* directory serialization of transactions *)
 }
 
+(* Protocol message kinds and coherence counters, interned once per
+   memory system so the per-transaction hot path never touches a
+   string-keyed table. *)
+type coh_kinds = {
+  req : Network.kind;
+  fetch : Network.kind;
+  wb : Network.kind;
+  data : Network.kind;
+  inv : Network.kind;
+  ack : Network.kind;
+  upgack : Network.kind;
+}
+
+type coh_counters = {
+  read_miss_c : Stats.counter;
+  write_miss_c : Stats.counter;
+  upgrades_c : Stats.counter;
+  invalidations_c : Stats.counter;
+  evict_wb_c : Stats.counter;
+  evict_clean_c : Stats.counter;
+}
+
 type t = {
   machine : Machine.t;
   cfg : config;
+  n_procs : int;
   caches : Cache.t array;
-  lines : (int, line_info) Hashtbl.t;
+  (* Allocation is a bump cursor, so lines are dense by construction:
+     every line in [0, brk) is allocated.  The directory is therefore a
+     flat array indexed by line number — the resident-hit path and every
+     protocol transaction index it directly, no hashing. *)
+  mutable lines : line_info array;
   mutable brk : int;  (* allocation cursor, in lines *)
+  kinds : coh_kinds;
+  ctrs : coh_counters;
 }
+
+(* Placeholder for slots in [lines] at or beyond [brk]; never read
+   because [info_exn] bounds-checks against [brk] and [alloc] overwrites
+   every slot it hands out. *)
+let unallocated = { home = -1; dstate = Uncached; mem = [||]; busy_until = 0 }
 
 let create ?(config = default_config) machine =
   let caches =
@@ -40,19 +72,53 @@ let create ?(config = default_config) machine =
         Cache.create ~n_slots:config.cache_slots ~line_words:config.line_words
           ~stats:machine.Machine.stats)
   in
-  { machine; cfg = config; caches; lines = Hashtbl.create 4096; brk = 0 }
+  let net = machine.Machine.net in
+  let stats = machine.Machine.stats in
+  {
+    machine;
+    cfg = config;
+    n_procs = Machine.n_procs machine;
+    caches;
+    lines = Array.make 4096 unallocated;
+    brk = 0;
+    kinds =
+      {
+        req = Network.kind net "coh_req";
+        fetch = Network.kind net "coh_fetch";
+        wb = Network.kind net "coh_wb";
+        data = Network.kind net "coh_data";
+        inv = Network.kind net "coh_inv";
+        ack = Network.kind net "coh_ack";
+        upgack = Network.kind net "coh_upgack";
+      };
+    ctrs =
+      {
+        read_miss_c = Stats.counter stats "coh.read_miss";
+        write_miss_c = Stats.counter stats "coh.write_miss";
+        upgrades_c = Stats.counter stats "coh.upgrades";
+        invalidations_c = Stats.counter stats "coh.invalidations";
+        evict_wb_c = Stats.counter stats "coh.evict_wb";
+        evict_clean_c = Stats.counter stats "coh.evict_clean";
+      };
+  }
 
 let config t = t.cfg
 
 let alloc t ~home ~words =
   if words <= 0 then invalid_arg "Shmem.alloc: words must be positive";
-  if home < 0 || home >= Machine.n_procs t.machine then invalid_arg "Shmem.alloc: bad home";
+  if home < 0 || home >= t.n_procs then invalid_arg "Shmem.alloc: bad home";
   let lw = t.cfg.line_words in
   let n_lines = (words + lw - 1) / lw in
   let first_line = t.brk in
   t.brk <- t.brk + n_lines;
-  for line = first_line to first_line + n_lines - 1 do
-    Hashtbl.add t.lines line { home; dstate = Uncached; mem = Array.make lw 0; busy_until = 0 }
+  if t.brk > Array.length t.lines then begin
+    let cap = max t.brk (2 * Array.length t.lines) in
+    let lines = Array.make cap unallocated in
+    Array.blit t.lines 0 lines 0 first_line;
+    t.lines <- lines
+  end;
+  for line = first_line to t.brk - 1 do
+    t.lines.(line) <- { home; dstate = Uncached; mem = Array.make lw 0; busy_until = 0 }
   done;
   first_line * lw
 
@@ -61,9 +127,8 @@ let line_of t a = a / t.cfg.line_words
 let offset_of t a = a mod t.cfg.line_words
 
 let info_exn t line =
-  match Hashtbl.find_opt t.lines line with
-  | Some i -> i
-  | None -> invalid_arg (Printf.sprintf "Shmem: unallocated line %d" line)
+  if line >= 0 && line < t.brk then t.lines.(line)
+  else invalid_arg (Printf.sprintf "Shmem: unallocated line %d" line)
 
 let home_of t a = (info_exn t (line_of t a)).home
 
@@ -76,7 +141,7 @@ let sim t = t.machine.Machine.sim
    changes are applied atomically at issue time, so delivery itself is
    a no-op. *)
 let msg t ~src ~dst ~words ~kind =
-  Network.send t.machine.Machine.net ~src ~dst ~words ~kind ignore
+  Network.send_k t.machine.Machine.net ~src ~dst ~words ~kind ignore
 
 (* --- MSI sanitizers (active only under Check) ---------------------- *)
 
@@ -115,7 +180,7 @@ let validate_line t line =
           Check.failf
             "Shmem line %d: cache %d holds Modified while the directory says Shared" line pid
         | Some Cache.Shared ->
-          Check.require (ISet.mem pid s)
+          Check.require (Sharers.mem pid s)
             "Shmem line %d: cache %d holds a Shared copy but is not in the sharer set" line
             pid;
           (match Cache.lookup t.caches.(pid) ~line with
@@ -134,8 +199,9 @@ let validate_line t line =
 let check_line t line = if Check.enabled () then validate_line t line
 
 let validate t =
-  (* Checking every line is order-insensitive: validation only raises. *)
-  Hashtbl.iter (fun line _ -> validate_line t line) t.lines (* lint: allow hashtbl-order *)
+  for line = 0 to t.brk - 1 do
+    validate_line t line
+  done
 
 (* Install [data] for [line] in [pid]'s cache, writing back a displaced
    modified victim. *)
@@ -150,13 +216,13 @@ let install t pid line state data =
       | Uncached | Shared_by _ -> assert false);
       Array.blit ev.Cache.data 0 vinfo.mem 0 t.cfg.line_words;
       vinfo.dstate <- Uncached;
-      Stats.incr (stats t) "coh.evict_wb";
+      Stats.Counter.incr t.ctrs.evict_wb_c;
       ignore
         (msg t ~src:pid ~dst:vinfo.home ~words:(t.cfg.ctrl_words + t.cfg.line_words)
-           ~kind:"coh_wb");
+           ~kind:t.kinds.wb);
       check_line t ev.Cache.line
     end
-    else Stats.incr (stats t) "coh.evict_clean"
+    else Stats.Counter.incr t.ctrs.evict_clean_c
 (* A cleanly evicted line leaves a stale sharer in the directory; later
    invalidations still message it, as in real full-map protocols. *)
 
@@ -166,25 +232,27 @@ let read_miss t pid line =
   let cfg = t.cfg in
   let info = info_exn t line in
   let home = info.home in
-  Stats.incr (stats t) "coh.read_miss";
-  let req = msg t ~src:pid ~dst:home ~words:cfg.ctrl_words ~kind:"coh_req" in
+  Stats.Counter.incr t.ctrs.read_miss_c;
+  let req = msg t ~src:pid ~dst:home ~words:cfg.ctrl_words ~kind:t.kinds.req in
   let lat = ref (req + cfg.dir_latency) in
   (match info.dstate with
   | Owned o ->
     assert (o <> pid);
     (* Fetch from the owner: it writes back and keeps a Shared copy. *)
-    let fetch = msg t ~src:home ~dst:o ~words:cfg.ctrl_words ~kind:"coh_fetch" in
-    let wb = msg t ~src:o ~dst:home ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_wb" in
+    let fetch = msg t ~src:home ~dst:o ~words:cfg.ctrl_words ~kind:t.kinds.fetch in
+    let wb = msg t ~src:o ~dst:home ~words:(cfg.ctrl_words + cfg.line_words) ~kind:t.kinds.wb in
     (match Cache.lookup t.caches.(o) ~line with
     | Some (Cache.Modified, d) ->
       Array.blit d 0 info.mem 0 cfg.line_words;
       Cache.set_state t.caches.(o) ~line Cache.Shared
     | Some (Cache.Shared, _) | None -> assert false);
     lat := !lat + fetch + wb + cfg.dir_latency;
-    info.dstate <- Shared_by (ISet.of_list [ o; pid ])
-  | Shared_by s -> info.dstate <- Shared_by (ISet.add pid s)
-  | Uncached -> info.dstate <- Shared_by (ISet.singleton pid));
-  let data = msg t ~src:home ~dst:pid ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_data" in
+    info.dstate <- Shared_by (Sharers.add pid (Sharers.singleton ~n:t.n_procs o))
+  | Shared_by s -> info.dstate <- Shared_by (Sharers.add pid s)
+  | Uncached -> info.dstate <- Shared_by (Sharers.singleton ~n:t.n_procs pid));
+  let data =
+    msg t ~src:home ~dst:pid ~words:(cfg.ctrl_words + cfg.line_words) ~kind:t.kinds.data
+  in
   lat := !lat + data;
   install t pid line Cache.Shared info.mem;
   check_line t line;
@@ -195,11 +263,11 @@ let read_miss t pid line =
 let invalidate_sharers t ~home ~others line =
   let cfg = t.cfg in
   let slowest = ref 0 in
-  ISet.iter
+  Sharers.iter
     (fun sh ->
-      Stats.incr (stats t) "coh.invalidations";
-      let inv = msg t ~src:home ~dst:sh ~words:cfg.ctrl_words ~kind:"coh_inv" in
-      let ack = msg t ~src:sh ~dst:home ~words:cfg.ctrl_words ~kind:"coh_ack" in
+      Stats.Counter.incr t.ctrs.invalidations_c;
+      let inv = msg t ~src:home ~dst:sh ~words:cfg.ctrl_words ~kind:t.kinds.inv in
+      let ack = msg t ~src:sh ~dst:home ~words:cfg.ctrl_words ~kind:t.kinds.ack in
       ignore (Cache.invalidate t.caches.(sh) ~line);
       let round = inv + ack in
       if round > !slowest then slowest := round)
@@ -212,7 +280,7 @@ let write_miss t pid line =
   let cfg = t.cfg in
   let info = info_exn t line in
   let home = info.home in
-  let req = msg t ~src:pid ~dst:home ~words:cfg.ctrl_words ~kind:"coh_req" in
+  let req = msg t ~src:pid ~dst:home ~words:cfg.ctrl_words ~kind:t.kinds.req in
   let lat = ref (req + cfg.dir_latency) in
   let had_shared_copy =
     match Cache.state t.caches.(pid) ~line with Some Cache.Shared -> true | _ -> false
@@ -220,14 +288,14 @@ let write_miss t pid line =
   (match info.dstate with
   | Uncached -> ()
   | Shared_by s ->
-    let others = ISet.remove pid s in
+    let others = Sharers.remove pid s in
     lat := !lat + invalidate_sharers t ~home ~others line
   | Owned o ->
     assert (o <> pid);
     (* Fetch-and-invalidate the current owner. *)
-    Stats.incr (stats t) "coh.invalidations";
-    let fetch = msg t ~src:home ~dst:o ~words:cfg.ctrl_words ~kind:"coh_fetch" in
-    let wb = msg t ~src:o ~dst:home ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_wb" in
+    Stats.Counter.incr t.ctrs.invalidations_c;
+    let fetch = msg t ~src:home ~dst:o ~words:cfg.ctrl_words ~kind:t.kinds.fetch in
+    let wb = msg t ~src:o ~dst:home ~words:(cfg.ctrl_words + cfg.line_words) ~kind:t.kinds.wb in
     (match Cache.invalidate t.caches.(o) ~line with
     | Some dirty -> Array.blit dirty 0 info.mem 0 cfg.line_words
     | None -> assert false);
@@ -235,15 +303,15 @@ let write_miss t pid line =
   info.dstate <- Owned pid;
   if had_shared_copy then begin
     (* Upgrade: data is already present and clean; only an ack returns. *)
-    Stats.incr (stats t) "coh.upgrades";
-    let upgack = msg t ~src:home ~dst:pid ~words:cfg.ctrl_words ~kind:"coh_upgack" in
+    Stats.Counter.incr t.ctrs.upgrades_c;
+    let upgack = msg t ~src:home ~dst:pid ~words:cfg.ctrl_words ~kind:t.kinds.upgack in
     lat := !lat + upgack;
     Cache.set_state t.caches.(pid) ~line Cache.Modified
   end
   else begin
-    Stats.incr (stats t) "coh.write_miss";
+    Stats.Counter.incr t.ctrs.write_miss_c;
     let data =
-      msg t ~src:home ~dst:pid ~words:(cfg.ctrl_words + cfg.line_words) ~kind:"coh_data"
+      msg t ~src:home ~dst:pid ~words:(cfg.ctrl_words + cfg.line_words) ~kind:t.kinds.data
     in
     lat := !lat + data;
     install t pid line Cache.Modified info.mem
@@ -358,7 +426,7 @@ let poke t a v =
   let info = info_exn t line in
   (match info.dstate with
   | Shared_by s ->
-    ISet.iter
+    Sharers.iter
       (fun sh ->
         match Cache.lookup t.caches.(sh) ~line with
         | Some (_, d) -> d.(off) <- v

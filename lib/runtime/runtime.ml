@@ -2,11 +2,44 @@ open Cm_engine
 open Cm_machine
 open Thread.Infix
 
-type t = { machine : Machine.t }
+(* Counter handles and message kinds are resolved once here — every
+   annotated access counts and sends, so per-call string interning would
+   sit on the hot path.  The handles bind lazily (see Stats), keeping
+   the registered-counter set, and hence the report digests, identical
+   to the string API. *)
+type t = {
+  machine : Machine.t;
+  rpc_calls_c : Stats.counter;
+  migrations_c : Stats.counter;
+  local_calls_c : Stats.counter;
+  scope_returns_c : Stats.counter;
+  residual_fetches_c : Stats.counter;
+  thread_migrations_c : Stats.counter;
+  rpc_k : Network.kind;
+  rpc_reply_k : Network.kind;
+  migrate_k : Network.kind;
+  migrate_return_k : Network.kind;
+  thread_migrate_k : Network.kind;
+}
 
 type access = Rpc | Migrate
 
-let create machine = { machine }
+let create machine =
+  let s = machine.Machine.stats and n = machine.Machine.net in
+  {
+    machine;
+    rpc_calls_c = Stats.counter s "rt.rpc_calls";
+    migrations_c = Stats.counter s "rt.migrations";
+    local_calls_c = Stats.counter s "rt.local_calls";
+    scope_returns_c = Stats.counter s "rt.scope_returns";
+    residual_fetches_c = Stats.counter s "rt.residual_fetches";
+    thread_migrations_c = Stats.counter s "rt.thread_migrations";
+    rpc_k = Network.kind n "rpc";
+    rpc_reply_k = Network.kind n "rpc_reply";
+    migrate_k = Network.kind n "migrate";
+    migrate_return_k = Network.kind n "migrate_return";
+    thread_migrate_k = Network.kind n "thread_migrate";
+  }
 
 let machine t = t.machine
 
@@ -22,12 +55,14 @@ let net t = t.machine.Machine.net
    continue (the server thread terminates right after). *)
 let send_reply t ~src ~dst ~words resume r : unit Thread.t =
  fun _ctx k ->
-  let (_ : int) = Network.send (net t) ~src ~dst ~words ~kind:"rpc_reply" (fun () -> resume r) in
+  let (_ : int) =
+    Network.send_k (net t) ~src ~dst ~words ~kind:t.rpc_reply_k (fun () -> resume r)
+  in
   k ()
 
 let rpc_call t ~dst ~args_words ~result_words body =
   let c = costs t in
-  Stats.incr (stats t) "rt.rpc_calls";
+  Stats.Counter.incr t.rpc_calls_c;
   let* caller = Thread.proc in
   let caller_id = Processor.id caller in
   (* Client stub: marshal and send the request, then block. *)
@@ -35,7 +70,7 @@ let rpc_call t ~dst ~args_words ~result_words body =
   let* r =
     Thread.await (fun ~resume ->
         let (_ : int) =
-          Network.send (net t) ~src:caller_id ~dst ~words:args_words ~kind:"rpc" (fun () ->
+          Network.send_k (net t) ~src:caller_id ~dst ~words:args_words ~kind:t.rpc_k (fun () ->
             (* Server stub: a fresh handler thread pays the receive
                pipeline, runs the method, and replies from wherever the
                thread ends up (the body may itself migrate). *)
@@ -56,15 +91,15 @@ let rpc_call t ~dst ~args_words ~result_words body =
 
 let migrate_call t ~dst ~args_words body =
   let c = costs t in
-  Stats.incr (stats t) "rt.migrations";
+  Stats.Counter.incr t.migrations_c;
   (* Sender pipeline: marshal the live variables into the migration
      message... *)
   let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
   (* ...ship the continuation, pay the receive pipeline on arrival... *)
   let* () =
-    Thread.travel ~net:(net t)
+    Thread.travel_k ~net:(net t)
       ~dst:(Machine.proc t.machine dst)
-      ~words:args_words ~kind:"migrate"
+      ~words:args_words ~kind:t.migrate_k
       ~recv_work:(Costs.recv_pipeline c ~words:args_words ~new_thread:true)
   in
   (* ...and keep running there: the access below is local. *)
@@ -77,7 +112,7 @@ let call t ~access ~home ~args_words ~result_words body =
   let* () = Thread.compute c.Costs.forwarding_check in
   let* p = Thread.proc in
   if Processor.id p = home then begin
-    Stats.incr (stats t) "rt.local_calls";
+    Stats.Counter.incr t.local_calls_c;
     body
   end
   else
@@ -95,10 +130,10 @@ let scope t ?(at_base = false) ~result_words body =
     (* The activation migrated away: send its result back to the caller
        frame waiting at the origin — a single message however many hops
        the activation made. *)
-    Stats.incr (stats t) "rt.scope_returns";
+    Stats.Counter.incr t.scope_returns_c;
     let* () = Thread.compute (Costs.send_pipeline c ~words:result_words) in
     let* () =
-      Thread.travel ~net:(net t) ~dst:origin ~words:result_words ~kind:"migrate_return"
+      Thread.travel_k ~net:(net t) ~dst:origin ~words:result_words ~kind:t.migrate_return_k
         ~recv_work:(Costs.recv_pipeline c ~words:result_words ~new_thread:false)
     in
     Thread.return r
@@ -110,7 +145,7 @@ let scope t ?(at_base = false) ~result_words body =
    handler dispatch plus the copy. *)
 let fetch_residual t ~origin ~words =
   let c = costs t in
-  Stats.incr (stats t) "rt.residual_fetches";
+  Stats.Counter.incr t.residual_fetches_c;
   let* p = Thread.proc in
   if Processor.id p = origin then Thread.return ()
   else
@@ -125,14 +160,14 @@ let residual_fetches t = Stats.get (stats t) "rt.residual_fetches"
    no caller frame left behind. *)
 let migrate_thread t ~dst ~stack_words =
   let c = costs t in
-  Stats.incr (stats t) "rt.thread_migrations";
+  Stats.Counter.incr t.thread_migrations_c;
   let* p = Thread.proc in
   if Processor.id p = dst then Thread.return ()
   else
     let* () = Thread.compute (Costs.send_pipeline c ~words:stack_words) in
-    Thread.travel ~net:(net t)
+    Thread.travel_k ~net:(net t)
       ~dst:(Machine.proc t.machine dst)
-      ~words:stack_words ~kind:"thread_migrate"
+      ~words:stack_words ~kind:t.thread_migrate_k
       ~recv_work:(Costs.recv_pipeline c ~words:stack_words ~new_thread:true)
 
 let thread_migrations t = Stats.get (stats t) "rt.thread_migrations"

@@ -21,7 +21,7 @@ let collect machine =
   let utilizations =
     List.init (Machine.n_procs machine) (fun p ->
         (p, Processor.utilization (Machine.proc machine p) ~now))
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
   in
   let stats = machine.Machine.stats in
   let counters = Stats.counters stats in
@@ -39,7 +39,7 @@ let collect machine =
         end
         else None)
       counters
-    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    |> List.sort (fun (_, _, a) (_, _, b) -> Int.compare b a)
   in
   let interesting (name, _) =
     let has_prefix p =

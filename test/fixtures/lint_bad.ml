@@ -18,4 +18,13 @@ let _bad_compare cont = cont = fun () -> ()
 
 let _bad_print () = Printf.printf "library code should not print\n"
 
+let _bad_poly_sort xs = List.sort compare xs
+
+let _bad_poly_qualified xs = List.sort Stdlib.compare xs
+
+(* Applied compare is specialized by the compiler and must NOT fire. *)
+let _ok_applied_compare a b = compare a b
+
 let _allowed () = Hashtbl.iter ignore (Hashtbl.create 1) (* lint: allow hashtbl-order *)
+
+let _allowed_poly xs = List.sort compare xs (* lint: allow poly-compare *)

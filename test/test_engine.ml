@@ -364,6 +364,53 @@ let prop_stats_merge_commutes_on_counters =
           Stats.get a k = expect)
         (a_ops @ b_ops))
 
+(* Observational equivalence of the interned-handle API and the
+   string-keyed API: the same interleaving of operations, one registry
+   driven through handles wherever possible and one through strings
+   only, must yield identical listings — including which names exist at
+   all (handles bind lazily, so interning alone must not register). *)
+let prop_stats_handles_equal_strings =
+  QCheck.Test.make ~name:"interned handles = string API" ~count:200
+    QCheck.(list (triple (int_range 0 3) (int_range 0 5) small_int))
+    (fun ops ->
+      let names = [| "alpha"; "beta"; "gamma"; "delta" |] in
+      let s = Stats.create () and h = Stats.create () in
+      (* Interned before any write: must not create the counters. *)
+      let hc = Array.map (fun n -> Stats.counter h n) names in
+      let hd = Array.map (fun n -> Stats.dist h n) names in
+      let pre_ok = Stats.counters h = [] && Stats.distributions h = [] in
+      List.iter
+        (fun (k, op, n) ->
+          let name = names.(k) in
+          match op with
+          | 0 ->
+            Stats.incr s name;
+            Stats.Counter.incr hc.(k)
+          | 1 ->
+            Stats.add s name n;
+            Stats.Counter.add hc.(k) n
+          | 2 ->
+            (* The two APIs may be mixed on one name. *)
+            Stats.incr s name;
+            Stats.incr h name
+          | 3 ->
+            (* A handle interned mid-stream binds to the existing cell. *)
+            Stats.add s name n;
+            Stats.Counter.add (Stats.counter h name) n
+          | 4 ->
+            Stats.observe s name (float_of_int n);
+            Stats.Dist.observe hd.(k) (float_of_int n)
+          | _ ->
+            Stats.observe s name (float_of_int n);
+            Stats.observe h name (float_of_int n))
+        ops;
+      pre_ok
+      && Stats.counters s = Stats.counters h
+      && Stats.distributions s = Stats.distributions h
+      && Array.for_all
+           (fun c -> Stats.Counter.get c = Stats.get h (Stats.Counter.name c))
+           hc)
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
@@ -414,7 +461,7 @@ let () =
           Alcotest.test_case "heap large grow" `Quick test_heap_large_grow;
           Alcotest.test_case "sim nested scheduling" `Quick test_sim_schedule_inside_handler;
         ]
-        @ qsuite [ prop_stats_merge_commutes_on_counters ] );
+        @ qsuite [ prop_stats_merge_commutes_on_counters; prop_stats_handles_equal_strings ] );
       ( "sim",
         [
           Alcotest.test_case "order" `Quick test_sim_order;

@@ -538,6 +538,67 @@ let prop_rwlock_counter_correct =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Sharers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module ISet = Set.Make (Int)
+
+(* The bitset sharer-set must be observationally equivalent to
+   [Set.Make(Int)] over the same universe, across both representations:
+   universes of 1–128 processors straddle the 62-member immediate-int
+   limit, so the copy-on-write [Bytes] fallback and the boundary sizes
+   (61, 62, 63) are all exercised.  Persistence matters too — the
+   directory keeps old versions live — so the model replays every
+   intermediate set, not just the final one. *)
+let prop_sharers_equal_int_set =
+  QCheck.Test.make ~name:"sharer bitset = Set.Make(Int)" ~count:300
+    QCheck.(
+      pair (int_range 1 128) (list (pair bool (int_range 0 1_000_000))))
+    (fun (n, ops) ->
+      let agree set model =
+        Sharers.cardinal set = ISet.cardinal model
+        && Sharers.is_empty set = ISet.is_empty model
+        && Sharers.to_list set = ISet.elements model
+        && (let seen = ref [] in
+            Sharers.iter (fun p -> seen := p :: !seen) set;
+            List.rev !seen = ISet.elements model)
+        && List.for_all
+             (fun p -> Sharers.mem p set = ISet.mem p model)
+             (List.init n (fun i -> i))
+      in
+      (* Apply the op stream, keeping every intermediate (set, model)
+         pair: checking them all at the end exercises persistence. *)
+      let history = ref [ (Sharers.empty ~n, ISet.empty) ] in
+      List.iter
+        (fun (add, p) ->
+          let p = p mod n in
+          let set, model = List.hd !history in
+          let next =
+            if add then (Sharers.add p set, ISet.add p model)
+            else (Sharers.remove p set, ISet.remove p model)
+          in
+          history := next :: !history)
+        ops;
+      List.for_all (fun (set, model) -> agree set model) !history)
+
+let test_sharers_singleton_and_bounds () =
+  List.iter
+    (fun n ->
+      let s = Sharers.singleton ~n (n - 1) in
+      Alcotest.(check (list int)) "singleton members" [ n - 1 ] (Sharers.to_list s);
+      Alcotest.(check bool) "member present" true (Sharers.mem (n - 1) s);
+      if n > 1 then Alcotest.(check bool) "other absent" false (Sharers.mem 0 s);
+      (* Beyond either representation's capacity: must raise, for every
+         universe size tested. *)
+      let out_of_range =
+        match Sharers.add 1000 s with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "add out of range raises" true out_of_range)
+    [ 1; 2; 61; 62; 63; 64; 127; 128 ]
+
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
 let () =
@@ -577,6 +638,9 @@ let () =
           Alcotest.test_case "rmw atomic counter" `Quick test_shmem_rmw_atomic_counter;
         ]
         @ qsuite [ prop_shmem_single_writer; prop_shmem_sequential_semantics ] );
+      ( "sharers",
+        [ Alcotest.test_case "singleton and bounds" `Quick test_sharers_singleton_and_bounds ]
+        @ qsuite [ prop_sharers_equal_int_set ] );
       ( "lock",
         [
           Alcotest.test_case "uncontended" `Quick test_lock_uncontended;
