@@ -21,9 +21,12 @@
      dune exec bench/main.exe -- quick      reduced-horizon rows + bechamel
      dune exec bench/main.exe -- smoke [f]  fast bechamel pass for CI
                                             (default BENCH_smoke.json)
-     dune exec bench/main.exe -- one NAME   bechamel for a single spec, at the
+     dune exec bench/main.exe -- one NAME[,NAME...] [f]
+                                            bechamel for selected specs, at the
                                             full-bench horizons (iterating on
-                                            one row without the whole sweep)
+                                            a few rows without the whole
+                                            sweep); with [f], record them as
+                                            JSON
 *)
 
 open Cm_experiments
@@ -198,12 +201,15 @@ let run_bechamel ?only ~mode ~quota ~limit ~full ~json () =
   let selected =
     match only with
     | None -> specs ~full
-    | Some name -> (
-      match List.filter (fun s -> s.name = name) (specs ~full) with
-      | [] ->
-        List.iter (fun s -> prerr_endline s.name) (specs ~full);
-        failwith ("no such spec: " ^ name)
-      | l -> l)
+    | Some names ->
+      List.map
+        (fun name ->
+          match List.find_opt (fun s -> s.name = name) (specs ~full) with
+          | Some s -> s
+          | None ->
+            List.iter (fun s -> prerr_endline s.name) (specs ~full);
+            failwith ("no such spec: " ^ name))
+        names
   in
   let results = List.map (measure ~quota ~limit) selected in
   match json with Some path -> write_json ~mode path results | None -> ()
@@ -229,6 +235,10 @@ let () =
       ~json:(Some (json_arg "BENCH_smoke.json"))
       ()
   | "one" ->
-    run_bechamel ~only:(json_arg "table1:btree-throughput") ~mode ~quota:3.0 ~limit:500
-      ~full:true ~json:None ()
+    (* NAME[,NAME...] [JSON]: full-horizon bechamel for selected specs,
+       optionally recording them (how BENCH_pr3.json's headline pair is
+       produced without the whole sweep). *)
+    let names = String.split_on_char ',' (json_arg "table1:btree-throughput") in
+    let json = if Array.length Sys.argv > 3 then Some Sys.argv.(3) else None in
+    run_bechamel ~only:names ~mode ~quota:3.0 ~limit:500 ~full:true ~json ()
   | _ -> run_bechamel ~mode ~quota:0.5 ~limit:200 ~full:false ~json:None ()

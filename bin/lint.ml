@@ -29,6 +29,12 @@
                       Int.compare / String.compare or a monomorphic
                       comparator.  Direct applications (compare a b) are
                       specialized by the compiler and not flagged.
+     raw-send         Network.send / Network.send_k outside lib/machine:
+                      all remote traffic must flow through
+                      Cm_machine.Transport (typed endpoints, unified
+                      send/receive pipelines, fault injection, delivery
+                      accounting) — hand-rolled pipelines drift and
+                      re-intern kind labels on hot paths.
 
    Suppression: a finding is allowed when its line (or the line above)
    carries "(* lint: allow <rule> *)", or the file carries
@@ -123,6 +129,14 @@ let closure_suspect (e : Parsetree.expression) =
 
 let polymorphic_compare = function [ ("=" | "<>" | "compare") ] -> true | _ -> false
 
+let raw_send_ident = function
+  | [ "Network"; ("send" | "send_k") ] | [ "Cm_machine"; "Network"; ("send" | "send_k") ] -> true
+  | _ -> false
+
+(* The transport itself (and the machine layer it lives in) is the one
+   legitimate client of the raw network send. *)
+let raw_send_applies file = not (contains file "lib/machine")
+
 (* poly-compare is scoped to the simulation hot-path libraries (plus the
    negative fixture, which must exercise every rule). *)
 let poly_compare_scope = [ "lib/engine"; "lib/machine"; "lib/memory"; "fixtures" ]
@@ -161,6 +175,12 @@ let check_expr ~file (e : Parsetree.expression) =
         (Printf.sprintf
            "%s iterates in unspecified order; sort the result or justify with an allow \
             comment"
+           (String.concat "." path));
+    if raw_send_ident path && raw_send_applies file then
+      report ~file ~line ~rule:"raw-send"
+        (Printf.sprintf
+           "%s outside lib/machine; send through Cm_machine.Transport (typed endpoints) \
+            instead"
            (String.concat "." path));
     if printing_ident path then
       report ~file ~line ~rule:"printf"

@@ -41,6 +41,7 @@ type t = {
   place_rng : Rng.t;
   node_procs : int array;
   mutable n_splits : int;
+  node_init_k : unit Transport.kind;
 }
 
 let rt t = Sysenv.runtime t.env
@@ -85,21 +86,17 @@ let fresh_node t ~is_leaf =
 let place t = t.node_procs.(Rng.int t.place_rng (Array.length t.node_procs))
 
 (* Register a split-off node at a random home and charge the
-   initialization message from the splitting node's processor. *)
-let register_remote t ~from n : int Thread.t =
+   initialization message from the splitting node's processor (splits
+   run at the node being split, so the sender is the current
+   processor). *)
+let register_remote t n : int Thread.t =
   let home = place t in
   let nid = (Objspace.register t.space ~home n :> int) in
   t.n_splits <- t.n_splits + 1;
   Stats.incr (machine t).Machine.stats "btree.splits";
   let words = node_words n in
-  let costs = (machine t).Machine.costs in
-  let* () = Thread.compute (Costs.send_pipeline costs ~words) in
-  fun _ctx k ->
-    let (_ : int) =
-      Network.send (machine t).Machine.net ~src:from ~dst:home ~words ~kind:"node_init"
-        (fun () -> Machine.spawn (machine t) ~on:home (Thread.compute node_init_work))
-    in
-    k nid
+  let* () = Transport.post (Machine.transport (machine t)) t.node_init_k ~dst:home ~words () in
+  Thread.return nid
 
 (* ------------------------------------------------------------------ *)
 (* Construction from a bulk-load plan                                 *)
@@ -161,6 +158,13 @@ let materialize t plan =
 let create env ~access ~fanout ~replicate_root ~plan ~node_procs ~placement_seed =
   if fanout < 4 then invalid_arg "Btree_msg.create: fanout must be >= 4";
   if Array.length node_procs = 0 then invalid_arg "Btree_msg.create: no node processors";
+  let tp = Machine.transport env.Sysenv.machine in
+  (* A split-off node's initialization message: the receiving home runs
+     the allocation/initialization work itself (no generic receive
+     pipeline — this models the memory-side cost only). *)
+  let node_init_k = Transport.kind tp ~recv:Transport.Recv_bare "node_init" in
+  Transport.Endpoint.register_all tp ~kind:node_init_k (fun () ->
+      Thread.compute node_init_work);
   let t =
     {
       env;
@@ -174,6 +178,7 @@ let create env ~access ~fanout ~replicate_root ~plan ~node_procs ~placement_seed
       place_rng = Rng.create ~seed:placement_seed;
       node_procs;
       n_splits = 0;
+      node_init_k;
     }
   in
   let root_id, height = materialize t plan in
@@ -257,9 +262,9 @@ let lookup t key =
 (* ------------------------------------------------------------------ *)
 
 (* Split [n] (which just overflowed), returning the separator and the
-   new right sibling's id.  Runs at [n]'s home; [nid_home] is that
-   processor (for the initialization message). *)
-let split_node t ~from n : (int * int) Thread.t =
+   new right sibling's id.  Runs at [n]'s home, which therefore sends
+   the initialization message. *)
+let split_node t n : (int * int) Thread.t =
   let keep = Btree_node.split_point ~nkeys:n.nkeys in
   let moved = n.nkeys - keep in
   let sibling = fresh_node t ~is_leaf:n.is_leaf in
@@ -268,14 +273,14 @@ let split_node t ~from n : (int * int) Thread.t =
   sibling.nkeys <- moved;
   sibling.high <- n.high;
   sibling.right <- n.right;
-  let* new_id = register_remote t ~from sibling in
+  let* new_id = register_remote t sibling in
   n.nkeys <- keep;
   n.high <- n.keys.(keep - 1);
   n.right <- new_id;
   Thread.return (n.high, new_id)
 
 (* Leaf-level insert at node [n]; assumes key <= n.high. *)
-let leaf_insert t ~from n key =
+let leaf_insert t n key =
   if Btree_node.member ~keys:n.keys ~nkeys:n.nkeys ~key then Thread.return (`Done false)
   else begin
     let pos = Btree_node.insertion_point ~keys:n.keys ~nkeys:n.nkeys ~key in
@@ -283,14 +288,14 @@ let leaf_insert t ~from n key =
     n.nkeys <- n.nkeys + 1;
     let* () = Thread.compute (4 * (n.nkeys - pos)) in
     if n.nkeys > t.fanout then
-      let* sep, new_id = split_node t ~from n in
+      let* sep, new_id = split_node t n in
       Thread.return (`Split (sep, new_id, true))
     else Thread.return (`Done true)
   end
 
 (* Insert separator [sep] (new right child [new_child]) into internal
    node [n]; assumes sep <= n.high. *)
-let add_separator t ~from n ~sep ~new_child =
+let add_separator t n ~sep ~new_child =
   let i = Btree_node.find_child_index ~keys:n.keys ~nkeys:n.nkeys ~key:sep in
   if n.keys.(i) = sep then begin
     (* An equal separator can only be a re-delivered propagation (splits
@@ -306,7 +311,7 @@ let add_separator t ~from n ~sep ~new_child =
     n.nkeys <- n.nkeys + 1;
     let* () = Thread.compute (8 * (n.nkeys - i)) in
     if n.nkeys > t.fanout then
-      let* sep2, new2 = split_node t ~from n in
+      let* sep2, new2 = split_node t n in
       Thread.return (`Split (sep2, new2))
     else Thread.return `Done
   end
@@ -328,7 +333,7 @@ let rec add_sep_at t pid ~path_len ~sep ~new_child =
         let* () = Thread.compute (visit_work n) in
         if sep > n.high && n.right >= 0 then Thread.return (`Right n.right)
         else
-          let* outcome = add_separator t ~from:(node_home t pid) n ~sep ~new_child in
+          let* outcome = add_separator t n ~sep ~new_child in
           Thread.return (`Landed outcome))
   in
   match r with
@@ -348,7 +353,7 @@ let try_root_split t ~left ~sep ~new_child =
        root.children.(0) <- left;
        root.children.(1) <- new_child;
        root.nkeys <- 2;
-       let* rid = register_remote t ~from:t.anchor_home root in
+       let* rid = register_remote t root in
        t.anchor.root <- rid;
        t.anchor.height <- t.anchor.height + 1;
        Stats.incr (machine t).Machine.stats "btree.root_splits";
@@ -422,7 +427,7 @@ let rec visit_insert t nid key : ins Thread.t =
       match step_of n key with
       | Move_right next -> visit_insert t next key
       | Leaf_here ->
-        let* outcome = leaf_insert t ~from:(node_home t nid) n key in
+        let* outcome = leaf_insert t n key in
         let* () = refresh_root_snapshot t nid in
         (match outcome with
         | `Done added -> Thread.return { added; pending = None }

@@ -9,6 +9,7 @@ type t = {
   stats : Stats.t;
   rng : Rng.t;
   mutable next_tid : int;
+  mutable transport_ : Transport.t option;
 }
 
 let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ~n_procs ~costs () =
@@ -26,7 +27,7 @@ let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ~n_procs ~
     Array.init n_procs (fun id ->
         Processor.create ~sim ~stats ~scheduler_cost:costs.Costs.scheduler ~id)
   in
-  { sim; costs; topo; net; procs; stats; rng = Rng.create ~seed; next_tid = 0 }
+  { sim; costs; topo; net; procs; stats; rng = Rng.create ~seed; next_tid = 0; transport_ = None }
 
 let n_procs t = Array.length t.procs
 
@@ -39,6 +40,17 @@ let spawn t ~on ?(on_exit = fun () -> ()) body =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   Thread.spawn ~tid ~rng:(Rng.split t.rng) ~on_exit:(fun () -> on_exit ()) (proc t on) body
+
+let transport t =
+  match t.transport_ with
+  | Some tr -> tr
+  | None ->
+    let tr =
+      Transport.create ~sim:t.sim ~costs:t.costs ~net:t.net ~procs:t.procs
+        ~spawn:(fun ~on body -> spawn t ~on body)
+    in
+    t.transport_ <- Some tr;
+    tr
 
 let run ?until t =
   Sim.run ?until t.sim;

@@ -16,6 +16,7 @@ type t = {
   stats : Stats.t;
   rng : Rng.t;
   mutable next_tid : int;  (** internal: spawn counter *)
+  mutable transport_ : Transport.t option;  (** internal: see {!transport} *)
 }
 
 val create :
@@ -42,6 +43,12 @@ val proc : t -> int -> Processor.t
 val spawn : t -> on:int -> ?on_exit:(unit -> unit) -> unit Thread.t -> unit
 (** [spawn t ~on body] starts a thread on processor [on] with a tid and
     random stream drawn deterministically from the machine. *)
+
+val transport : t -> Transport.t
+(** [transport t] is the machine's message transport (created on first
+    use; one shared instance per machine).  All remote traffic outside
+    [lib/machine] flows through it — see {!Transport} and the [raw-send]
+    lint rule. *)
 
 val run : ?until:int -> t -> unit
 (** [run ?until t] drives the simulation (see {!Cm_engine.Sim.run}).

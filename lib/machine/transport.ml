@@ -1,0 +1,297 @@
+open Cm_engine
+open Thread.Infix
+
+type recv = Recv_pipeline | Recv_bare
+
+type fault = { drop : float; duplicate : float; delay : float; delay_cycles : int }
+
+let no_fault = { drop = 0.0; duplicate = 0.0; delay = 0.0; delay_cycles = 0 }
+
+(* Delivery counters of one kind label, shared by every declaration of
+   that label.  They live in the transport's own registry: the machine's
+   registry feeds the run digests [repro selfcheck] compares, so adding
+   names there would break bit-identity with the hand-rolled senders
+   this module replaced. *)
+type ctrs = {
+  c_name : string;
+  posted_c : Stats.counter;
+  delivered_c : Stats.counter;
+  dropped_c : Stats.counter;
+  duplicated_c : Stats.counter;
+  delayed_c : Stats.counter;
+}
+
+type 'a kind = {
+  ctrs : ctrs;
+  net_k : Network.kind;
+  recv : recv;
+  handlers : ('a -> unit Thread.t) option array;  (* one endpoint slot per processor *)
+  ep_delivered : int array;
+  (* Cached fault spec, invalidated by generation when the fault
+     configuration changes. *)
+  mutable f_gen : int;
+  mutable f_spec : fault option;
+}
+
+type t = {
+  sim : Sim.t;
+  costs : Costs.t;
+  net : Network.t;
+  n_procs : int;
+  spawn : on:int -> unit Thread.t -> unit;
+  xstats : Stats.t;
+  mutable kind_names : string list;  (* distinct labels, declaration order (reversed) *)
+  mutable faults_on : bool;
+  mutable fault_specs : (string * fault) list;
+  mutable fault_gen : int;
+  mutable frng : Rng.t;
+}
+
+let create ~sim ~costs ~net ~procs ~spawn =
+  {
+    sim;
+    costs;
+    net;
+    n_procs = Array.length procs;
+    spawn;
+    xstats = Stats.create ();
+    kind_names = [];
+    faults_on = false;
+    fault_specs = [];
+    fault_gen = 0;
+    frng = Rng.create ~seed:0;
+  }
+
+let intern_ctrs t name =
+  if not (List.mem name t.kind_names) then t.kind_names <- name :: t.kind_names;
+  let c suffix = Stats.counter t.xstats ("xport." ^ name ^ "." ^ suffix) in
+  {
+    c_name = name;
+    posted_c = c "posted";
+    delivered_c = c "delivered";
+    dropped_c = c "dropped";
+    duplicated_c = c "duplicated";
+    delayed_c = c "delayed";
+  }
+
+let kind t ?(recv = Recv_pipeline) name =
+  {
+    ctrs = intern_ctrs t name;
+    net_k = Network.kind t.net name;
+    recv;
+    handlers = Array.make t.n_procs None;
+    ep_delivered = Array.make t.n_procs 0;
+    f_gen = -1;
+    f_spec = None;
+  }
+
+let kind_name k = k.ctrs.c_name
+
+module Endpoint = struct
+  let register t ~proc ~kind handler =
+    if proc < 0 || proc >= t.n_procs then
+      invalid_arg
+        (Printf.sprintf "Transport.Endpoint.register (%s): processor %d out of range [0,%d)"
+           kind.ctrs.c_name proc t.n_procs);
+    kind.handlers.(proc) <- Some handler
+
+  let register_all t ~kind handler =
+    for proc = 0 to t.n_procs - 1 do
+      kind.handlers.(proc) <- Some handler
+    done
+
+  let delivered ~kind ~proc = kind.ep_delivered.(proc)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let configure_faults t ~seed specs =
+  t.fault_specs <- specs;
+  t.faults_on <- specs <> [];
+  t.fault_gen <- t.fault_gen + 1;
+  t.frng <- Rng.create ~seed
+
+let clear_faults t =
+  t.fault_specs <- [];
+  t.faults_on <- false;
+  t.fault_gen <- t.fault_gen + 1
+
+let faults_active t = t.faults_on
+
+let fault_spec t (k : _ kind) =
+  if k.f_gen <> t.fault_gen then begin
+    k.f_spec <- List.assoc_opt k.ctrs.c_name t.fault_specs;
+    k.f_gen <- t.fault_gen
+  end;
+  k.f_spec
+
+(* Draw only for non-zero probabilities: configuring one aspect of one
+   kind does not perturb the decision stream of the others. *)
+let fault_hits t p = p > 0.0 && Rng.float t.frng 1.0 < p
+
+(* ------------------------------------------------------------------ *)
+(* Transmission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Send one [k] message; [deliver] runs at arrival, after the delivery
+   counters are bumped.  Returns the wire latency ([0] for a dropped
+   message).  The fault-free path is two counter bumps around
+   [Network.send_k] — no draws, no extra events. *)
+let transmit t (k : _ kind) ~src ~dst ~words deliver =
+  Stats.Counter.incr k.ctrs.posted_c;
+  let arrive () =
+    Stats.Counter.incr k.ctrs.delivered_c;
+    k.ep_delivered.(dst) <- k.ep_delivered.(dst) + 1;
+    deliver ()
+  in
+  if not t.faults_on then Network.send_k t.net ~src ~dst ~words ~kind:k.net_k arrive
+  else
+    match fault_spec t k with
+    | None -> Network.send_k t.net ~src ~dst ~words ~kind:k.net_k arrive
+    | Some f ->
+      if fault_hits t f.drop then begin
+        Stats.Counter.incr k.ctrs.dropped_c;
+        0
+      end
+      else begin
+        let arrive =
+          if fault_hits t f.delay then begin
+            Stats.Counter.incr k.ctrs.delayed_c;
+            let extra = f.delay_cycles in
+            fun () -> Sim.after t.sim extra arrive
+          end
+          else arrive
+        in
+        let latency = Network.send_k t.net ~src ~dst ~words ~kind:k.net_k arrive in
+        if fault_hits t f.duplicate then begin
+          Stats.Counter.incr k.ctrs.duplicated_c;
+          let (_ : int) = Network.send_k t.net ~src ~dst ~words ~kind:k.net_k arrive in
+          ()
+        end;
+        latency
+      end
+
+let dispatch t (k : 'a kind) ~src ~dst ~words payload =
+  let deliver () =
+    match k.handlers.(dst) with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Transport: no %S endpoint registered at processor %d" k.ctrs.c_name
+           dst)
+    | Some handler ->
+      t.spawn ~on:dst
+        (match k.recv with
+        | Recv_pipeline ->
+          let* () =
+            Thread.compute (Costs.recv_pipeline t.costs ~words ~new_thread:true)
+          in
+          handler payload
+        | Recv_bare -> handler payload)
+  in
+  let (_ : int) = transmit t k ~src ~dst ~words deliver in
+  ()
+
+let signal t k ~src ~dst ~words deliver =
+  let (_ : int) = transmit t k ~src ~dst ~words deliver in
+  ()
+
+let inject t k ~src ~dst ~words = transmit t k ~src ~dst ~words ignore
+
+(* ------------------------------------------------------------------ *)
+(* Monadic senders                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let post t k ~dst ~words payload =
+  let* p = Thread.proc in
+  let* () = Thread.compute (Costs.send_pipeline t.costs ~words) in
+  fun _ctx kont ->
+    dispatch t k ~src:(Processor.id p) ~dst ~words payload;
+    kont ()
+
+let notify t k ~dst ~words deliver =
+  let* p = Thread.proc in
+  let* () = Thread.compute (Costs.send_pipeline t.costs ~words) in
+  fun _ctx kont ->
+    signal t k ~src:(Processor.id p) ~dst ~words deliver;
+    kont ()
+
+let call t ~req ~reply ~dst ~args_words ~result_words body =
+  let* caller = Thread.proc in
+  let caller_id = Processor.id caller in
+  (* Client stub: marshal and send the request, then block.  The server
+     side runs the payload thread at [dst] (endpoints for [req] run
+     their payload), computes, and replies from wherever the body ends
+     up — it may itself migrate. *)
+  let* () = Thread.compute (Costs.send_pipeline t.costs ~words:args_words) in
+  let* r =
+    Thread.await (fun ~resume ->
+        dispatch t req ~src:caller_id ~dst ~words:args_words
+          (let* r = body in
+           notify t reply ~dst:caller_id ~words:result_words (fun () -> resume r)))
+  in
+  (* Reply reception on the caller: no thread creation, just unblock. *)
+  let* () = Thread.compute (Costs.recv_pipeline t.costs ~words:result_words ~new_thread:false) in
+  Thread.return r
+
+let migrate t k ~dst ~words ~fresh =
+  let* p = Thread.proc in
+  let* () = Thread.compute (Costs.send_pipeline t.costs ~words) in
+  let* sent =
+    fun _ctx kont ->
+     Stats.Counter.incr k.ctrs.posted_c;
+     let drop =
+       t.faults_on
+       &&
+       match fault_spec t k with
+       | Some f -> fault_hits t f.drop
+       | None -> false
+     in
+     if drop then Stats.Counter.incr k.ctrs.dropped_c;
+     kont (not drop)
+  in
+  if not sent then (
+    fun _ctx _kont ->
+      (* The continuation was lost with the message: the thread ends here
+         (the sanitizer's [dropped] counter owns the account). *)
+      Processor.release p)
+  else
+    let* () =
+      Thread.travel_k ~net:t.net ~dst ~words ~kind:k.net_k
+        ~recv_work:(Costs.recv_pipeline t.costs ~words ~new_thread:fresh)
+    in
+    fun _ctx kont ->
+      Stats.Counter.incr k.ctrs.delivered_c;
+      let d = Processor.id dst in
+      k.ep_delivered.(d) <- k.ep_delivered.(d) + 1;
+      kont ()
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stats t = t.xstats
+
+let counter_of t name suffix = Stats.get t.xstats ("xport." ^ name ^ "." ^ suffix)
+
+let posted t name = counter_of t name "posted"
+
+let delivered t name = counter_of t name "delivered"
+
+let dropped t name = counter_of t name "dropped"
+
+let inflight t name =
+  counter_of t name "posted"
+  + counter_of t name "duplicated"
+  - counter_of t name "delivered"
+  - counter_of t name "dropped"
+
+let inflight_total t = List.fold_left (fun acc name -> acc + inflight t name) 0 t.kind_names
+
+let check_all_delivered t =
+  List.iter
+    (fun name ->
+      let n = inflight t name in
+      Check.require (n = 0) "Transport: %d %S message(s) posted but never delivered" n name)
+    (List.rev t.kind_names)

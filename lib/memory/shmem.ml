@@ -26,15 +26,17 @@ type line_info = {
 
 (* Protocol message kinds and coherence counters, interned once per
    memory system so the per-transaction hot path never touches a
-   string-keyed table. *)
+   string-keyed table.  The controllers inject through the machine
+   transport ([Recv_bare]: the protocol applies state changes at issue
+   time and accounts latency itself, so delivery dispatches nothing). *)
 type coh_kinds = {
-  req : Network.kind;
-  fetch : Network.kind;
-  wb : Network.kind;
-  data : Network.kind;
-  inv : Network.kind;
-  ack : Network.kind;
-  upgack : Network.kind;
+  req : unit Transport.kind;
+  fetch : unit Transport.kind;
+  wb : unit Transport.kind;
+  data : unit Transport.kind;
+  inv : unit Transport.kind;
+  ack : unit Transport.kind;
+  upgack : unit Transport.kind;
 }
 
 type coh_counters = {
@@ -48,6 +50,7 @@ type coh_counters = {
 
 type t = {
   machine : Machine.t;
+  tp : Transport.t;
   cfg : config;
   n_procs : int;
   caches : Cache.t array;
@@ -72,10 +75,12 @@ let create ?(config = default_config) machine =
         Cache.create ~n_slots:config.cache_slots ~line_words:config.line_words
           ~stats:machine.Machine.stats)
   in
-  let net = machine.Machine.net in
+  let tp = Machine.transport machine in
   let stats = machine.Machine.stats in
+  let coh name = Transport.kind tp ~recv:Transport.Recv_bare name in
   {
     machine;
+    tp;
     cfg = config;
     n_procs = Machine.n_procs machine;
     caches;
@@ -83,13 +88,13 @@ let create ?(config = default_config) machine =
     brk = 0;
     kinds =
       {
-        req = Network.kind net "coh_req";
-        fetch = Network.kind net "coh_fetch";
-        wb = Network.kind net "coh_wb";
-        data = Network.kind net "coh_data";
-        inv = Network.kind net "coh_inv";
-        ack = Network.kind net "coh_ack";
-        upgack = Network.kind net "coh_upgack";
+        req = coh "coh_req";
+        fetch = coh "coh_fetch";
+        wb = coh "coh_wb";
+        data = coh "coh_data";
+        inv = coh "coh_inv";
+        ack = coh "coh_ack";
+        upgack = coh "coh_upgack";
       };
     ctrs =
       {
@@ -140,8 +145,7 @@ let sim t = t.machine.Machine.sim
    link queueing when the contention model is on); protocol state
    changes are applied atomically at issue time, so delivery itself is
    a no-op. *)
-let msg t ~src ~dst ~words ~kind =
-  Network.send_k t.machine.Machine.net ~src ~dst ~words ~kind ignore
+let msg t ~src ~dst ~words ~kind = Transport.inject t.tp kind ~src ~dst ~words
 
 (* --- MSI sanitizers (active only under Check) ---------------------- *)
 

@@ -7,15 +7,39 @@ type 'state t = {
   space : 'state Objspace.t;
   words_of : 'state -> int;
   hints : (int * Objspace.id, int) Hashtbl.t;  (* (processor, object) -> believed home *)
+  tp : Transport.t;
+  call_k : unit Thread.t Transport.kind;
+  forward_k : unit Thread.t Transport.kind;
+  transfer_k : unit Thread.t Transport.kind;
+  reply_k : unit Transport.kind;
 }
 
-let create rt space ~words_of = { rt; space; words_of; hints = Hashtbl.create 64 }
+let create rt space ~words_of =
+  let tp = Runtime.transport rt in
+  (* Requests, forwards and state transfers all carry the computation to
+     run at the destination as their payload; any processor can host an
+     object, so endpoints exist everywhere. *)
+  let call_k = Transport.kind tp "objmig_call" in
+  let forward_k = Transport.kind tp "objmig_forward" in
+  let transfer_k = Transport.kind tp "objmig_transfer" in
+  Transport.Endpoint.register_all tp ~kind:call_k (fun m -> m);
+  Transport.Endpoint.register_all tp ~kind:forward_k (fun m -> m);
+  Transport.Endpoint.register_all tp ~kind:transfer_k (fun m -> m);
+  {
+    rt;
+    space;
+    words_of;
+    hints = Hashtbl.create 64;
+    tp;
+    call_k;
+    forward_k;
+    transfer_k;
+    reply_k = Transport.kind tp "objmig_reply";
+  }
 
 let machine t = Runtime.machine t.rt
 
 let costs t = (machine t).Machine.costs
-
-let net t = (machine t).Machine.net
 
 let stats t = (machine t).Machine.stats
 
@@ -36,35 +60,24 @@ let forwards t = Stats.get (stats t) "objmig.forwards"
 
 let object_moves t = Stats.get (stats t) "objmig.moves"
 
-(* Run [m] on the object as a handler occupying [on]'s CPU, then reply
-   to [caller]; [resume] receives the result and the object's home at
-   execution time (to repair the caller's hint). *)
-let rec serve t i ~on ~caller ~args_words ~result_words m resume =
-  let c = costs t in
-  Machine.spawn (machine t) ~on
-    (let* () = Thread.compute (Costs.recv_pipeline c ~words:args_words ~new_thread:true) in
-     let here = Objspace.home t.space i in
-     if here = on then
-       let* r = m (Objspace.state t.space i) in
-       let* () = Thread.compute (Costs.send_pipeline c ~words:result_words) in
-       fun _ctx k ->
-         let (_ : int) =
-           Network.send (net t) ~src:on ~dst:caller ~words:result_words ~kind:"objmig_reply"
-             (fun () -> resume (r, on))
-         in
-         k ()
-     else begin
-       (* Stale home: forward the request to where the object went. *)
-       Stats.incr (stats t) "objmig.forwards";
-       let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
-       fun _ctx k ->
-         let (_ : int) =
-           Network.send (net t) ~src:on ~dst:here ~words:args_words ~kind:"objmig_forward"
-             (fun () ->
-               serve t i ~on:here ~caller ~args_words ~result_words m resume)
-         in
-         k ()
-     end)
+(* Run [m] on the object as a handler occupying the delivery processor's
+   CPU, then reply to [caller]; [resume] receives the result and the
+   object's home at execution time (to repair the caller's hint).  The
+   transport charges the receive pipeline before this body runs. *)
+let rec serve t i ~caller ~args_words ~result_words m resume : unit Thread.t =
+  let* p = Thread.proc in
+  let on = Processor.id p in
+  let here = Objspace.home t.space i in
+  if here = on then
+    let* r = m (Objspace.state t.space i) in
+    Transport.notify t.tp t.reply_k ~dst:caller ~words:result_words (fun () ->
+        resume (r, on))
+  else begin
+    (* Stale home: forward the request to where the object went. *)
+    Stats.incr (stats t) "objmig.forwards";
+    Transport.post t.tp t.forward_k ~dst:here ~words:args_words
+      (serve t i ~caller ~args_words ~result_words m resume)
+  end
 
 let call t i ~args_words ~result_words m =
   let c = costs t in
@@ -78,11 +91,8 @@ let call t i ~args_words ~result_words m =
     let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
     let* r, home =
       Thread.await (fun ~resume ->
-          let (_ : int) =
-            Network.send (net t) ~src:pid ~dst:target ~words:args_words ~kind:"objmig_call"
-              (fun () -> serve t i ~on:target ~caller:pid ~args_words ~result_words m resume)
-          in
-          ())
+          Transport.dispatch t.tp t.call_k ~src:pid ~dst:target ~words:args_words
+            (serve t i ~caller:pid ~args_words ~result_words m resume))
     in
     learn t ~pid i home;
     let* () = Thread.compute (Costs.recv_pipeline c ~words:result_words ~new_thread:false) in
@@ -99,20 +109,17 @@ let migrate_object t i ~to_ =
     Stats.incr (stats t) "objmig.moves";
     let words = t.words_of (Objspace.state t.space i) in
     (* The home packs and ships the object's state to [to_], which
-       unpacks it; the requester resumes once the object has landed. *)
+       unpacks it (the transfer endpoint's receive pipeline); the
+       requester resumes once the object has landed. *)
     let transfer resume =
       Machine.spawn (machine t) ~on:home
         (let* () = Thread.compute (Costs.send_pipeline c ~words) in
          Objspace.move t.space i ~to_;
          fun _ctx k ->
-           let (_ : int) =
-             Network.send (net t) ~src:home ~dst:to_ ~words ~kind:"objmig_transfer" (fun () ->
-                 Machine.spawn (machine t) ~on:to_
-                   (let* () = Thread.compute (Costs.recv_pipeline c ~words ~new_thread:true) in
-                    fun _ctx2 k2 ->
-                      resume ();
-                      k2 ()))
-           in
+           Transport.dispatch t.tp t.transfer_k ~src:home ~dst:to_ ~words
+             (fun _ctx2 k2 ->
+               resume ();
+               k2 ());
            k ())
     in
     (* A control message reaches the home first when the requester is
@@ -125,11 +132,8 @@ let migrate_object t i ~to_ =
       Thread.await (fun ~resume ->
           if pid = home then transfer resume
           else
-            let (_ : int) =
-              Network.send (net t) ~src:pid ~dst:home ~words:2 ~kind:"objmig_call" (fun () ->
-                  transfer resume)
-            in
-            ())
+            Transport.signal t.tp t.call_k ~src:pid ~dst:home ~words:2 (fun () ->
+                transfer resume))
     in
     learn t ~pid i to_;
     Thread.return ()

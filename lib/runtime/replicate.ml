@@ -9,19 +9,23 @@ type 'a t = {
   copies : 'a option array;
   mutable master : 'a;
   mutable version : int;
+  upd_k : 'a Transport.kind;
 }
 
 let create rt ~home ~words_of v =
   let machine = Runtime.machine rt in
   if home < 0 || home >= Machine.n_procs machine then invalid_arg "Replicate.create: bad home";
-  {
-    rt;
-    home;
-    words_of;
-    copies = Array.make (Machine.n_procs machine) None;
-    master = v;
-    version = 0;
-  }
+  let copies = Array.make (Machine.n_procs machine) None in
+  let tp = Runtime.transport rt in
+  (* The update fan-out delivers the new value to each holder: the
+     handler thread (which already paid the receive pipeline) installs
+     it in the local replica slot. *)
+  let upd_k = Transport.kind tp "repl_update" in
+  Transport.Endpoint.register_all tp ~kind:upd_k (fun v ->
+      let* p = Thread.proc in
+      copies.(Processor.id p) <- Some v;
+      Thread.return ());
+  { rt; home; words_of; copies; master = v; version = 0; upd_k }
 
 let home t = t.home
 
@@ -54,26 +58,7 @@ let read t =
       t.copies.(pid) <- Some v;
       Thread.return v
 
-(* Push the new value to one replica holder: a message plus
-   receive-pipeline work on the holder's CPU when it arrives. *)
-let push_to t ~holder v : unit Thread.t =
- fun _ctx k ->
-  let machine = Runtime.machine t.rt in
-  let c = machine.Machine.costs in
-  let words = t.words_of v in
-  let (_ : int) =
-    Network.send machine.Machine.net ~src:t.home ~dst:holder ~words ~kind:"repl_update"
-      (fun () ->
-        Machine.spawn machine ~on:holder
-          (let* () = Thread.compute (Costs.recv_pipeline c ~words ~new_thread:true) in
-           t.copies.(holder) <- Some v;
-           Thread.return ()))
-  in
-  k ()
-
 let update t ~access v =
-  let machine = Runtime.machine t.rt in
-  let c = machine.Machine.costs in
   let words = t.words_of v in
   Runtime.call t.rt ~access ~home:t.home ~args_words:words ~result_words:1
     (let holders = ref [] in
@@ -82,11 +67,10 @@ let update t ~access v =
      t.version <- t.version + 1;
      Stats.incr (stats t) "repl.updates";
      (* The home CPU pays one send pipeline per holder — replication's
-        broadcast cost. *)
+        broadcast cost; each holder pays receive-pipeline work when the
+        update arrives. *)
      Thread.iter_list
-       (fun holder ->
-         let* () = Thread.compute (Costs.send_pipeline c ~words) in
-         push_to t ~holder v)
+       (fun holder -> Transport.post (Runtime.transport t.rt) t.upd_k ~dst:holder ~words v)
        !holders)
 
 let version t = t.version

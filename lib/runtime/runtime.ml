@@ -6,42 +6,53 @@ open Thread.Infix
    annotated access counts and sends, so per-call string interning would
    sit on the hot path.  The handles bind lazily (see Stats), keeping
    the registered-counter set, and hence the report digests, identical
-   to the string API. *)
+   to the string API.  All traffic flows through the machine's
+   [Transport]: the RPC request carries the server computation as its
+   payload, and migrations ship the current continuation. *)
 type t = {
   machine : Machine.t;
+  tp : Transport.t;
   rpc_calls_c : Stats.counter;
   migrations_c : Stats.counter;
   local_calls_c : Stats.counter;
   scope_returns_c : Stats.counter;
   residual_fetches_c : Stats.counter;
   thread_migrations_c : Stats.counter;
-  rpc_k : Network.kind;
-  rpc_reply_k : Network.kind;
-  migrate_k : Network.kind;
-  migrate_return_k : Network.kind;
-  thread_migrate_k : Network.kind;
+  rpc_k : unit Thread.t Transport.kind;
+  rpc_reply_k : unit Transport.kind;
+  migrate_k : unit Transport.kind;
+  migrate_return_k : unit Transport.kind;
+  thread_migrate_k : unit Transport.kind;
 }
 
 type access = Rpc | Migrate
 
 let create machine =
-  let s = machine.Machine.stats and n = machine.Machine.net in
+  let s = machine.Machine.stats in
+  let tp = Machine.transport machine in
+  let rpc_k = Transport.kind tp "rpc" in
+  (* RPC requests carry the server stub as their payload; every
+     processor can serve one. *)
+  Transport.Endpoint.register_all tp ~kind:rpc_k (fun server -> server);
   {
     machine;
+    tp;
     rpc_calls_c = Stats.counter s "rt.rpc_calls";
     migrations_c = Stats.counter s "rt.migrations";
     local_calls_c = Stats.counter s "rt.local_calls";
     scope_returns_c = Stats.counter s "rt.scope_returns";
     residual_fetches_c = Stats.counter s "rt.residual_fetches";
     thread_migrations_c = Stats.counter s "rt.thread_migrations";
-    rpc_k = Network.kind n "rpc";
-    rpc_reply_k = Network.kind n "rpc_reply";
-    migrate_k = Network.kind n "migrate";
-    migrate_return_k = Network.kind n "migrate_return";
-    thread_migrate_k = Network.kind n "thread_migrate";
+    rpc_k;
+    rpc_reply_k = Transport.kind tp "rpc_reply";
+    migrate_k = Transport.kind tp "migrate";
+    migrate_return_k = Transport.kind tp "migrate_return";
+    thread_migrate_k = Transport.kind tp "thread_migrate";
   }
 
 let machine t = t.machine
+
+let transport t = t.tp
 
 let access_name = function Rpc -> "rpc" | Migrate -> "migrate"
 
@@ -49,60 +60,18 @@ let costs t = t.machine.Machine.costs
 
 let stats t = t.machine.Machine.stats
 
-let net t = t.machine.Machine.net
-
-(* Raw CPS step: emit the reply message and unblock the caller, then
-   continue (the server thread terminates right after). *)
-let send_reply t ~src ~dst ~words resume r : unit Thread.t =
- fun _ctx k ->
-  let (_ : int) =
-    Network.send_k (net t) ~src ~dst ~words ~kind:t.rpc_reply_k (fun () -> resume r)
-  in
-  k ()
-
 let rpc_call t ~dst ~args_words ~result_words body =
-  let c = costs t in
   Stats.Counter.incr t.rpc_calls_c;
-  let* caller = Thread.proc in
-  let caller_id = Processor.id caller in
-  (* Client stub: marshal and send the request, then block. *)
-  let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
-  let* r =
-    Thread.await (fun ~resume ->
-        let (_ : int) =
-          Network.send_k (net t) ~src:caller_id ~dst ~words:args_words ~kind:t.rpc_k (fun () ->
-            (* Server stub: a fresh handler thread pays the receive
-               pipeline, runs the method, and replies from wherever the
-               thread ends up (the body may itself migrate). *)
-            Machine.spawn t.machine ~on:dst
-              (let* () =
-                 Thread.compute (Costs.recv_pipeline c ~words:args_words ~new_thread:true)
-               in
-               let* r = body in
-               let* here = Thread.proc in
-               let* () = Thread.compute (Costs.send_pipeline c ~words:result_words) in
-               send_reply t ~src:(Processor.id here) ~dst:caller_id ~words:result_words resume r))
-        in
-        ())
-  in
-  (* Reply reception on the caller: no thread creation, just unblock. *)
-  let* () = Thread.compute (Costs.recv_pipeline c ~words:result_words ~new_thread:false) in
-  Thread.return r
+  Transport.call t.tp ~req:t.rpc_k ~reply:t.rpc_reply_k ~dst ~args_words ~result_words body
 
 let migrate_call t ~dst ~args_words body =
-  let c = costs t in
   Stats.Counter.incr t.migrations_c;
-  (* Sender pipeline: marshal the live variables into the migration
-     message... *)
-  let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
-  (* ...ship the continuation, pay the receive pipeline on arrival... *)
+  (* Ship the continuation; the access below is local after arrival. *)
   let* () =
-    Thread.travel_k ~net:(net t)
+    Transport.migrate t.tp t.migrate_k
       ~dst:(Machine.proc t.machine dst)
-      ~words:args_words ~kind:t.migrate_k
-      ~recv_work:(Costs.recv_pipeline c ~words:args_words ~new_thread:true)
+      ~words:args_words ~fresh:true
   in
-  (* ...and keep running there: the access below is local. *)
   body
 
 let call t ~access ~home ~args_words ~result_words body =
@@ -121,7 +90,6 @@ let call t ~access ~home ~args_words ~result_words body =
     | Migrate -> migrate_call t ~dst:home ~args_words body
 
 let scope t ?(at_base = false) ~result_words body =
-  let c = costs t in
   let* origin = Thread.proc in
   let* r = body in
   let* here = Thread.proc in
@@ -131,10 +99,8 @@ let scope t ?(at_base = false) ~result_words body =
        frame waiting at the origin — a single message however many hops
        the activation made. *)
     Stats.Counter.incr t.scope_returns_c;
-    let* () = Thread.compute (Costs.send_pipeline c ~words:result_words) in
     let* () =
-      Thread.travel_k ~net:(net t) ~dst:origin ~words:result_words ~kind:t.migrate_return_k
-        ~recv_work:(Costs.recv_pipeline c ~words:result_words ~new_thread:false)
+      Transport.migrate t.tp t.migrate_return_k ~dst:origin ~words:result_words ~fresh:false
     in
     Thread.return r
   end
@@ -159,16 +125,13 @@ let residual_fetches t = Stats.get (stats t) "rt.residual_fetches"
    permanently relocating it.  No scope bookkeeping applies — there is
    no caller frame left behind. *)
 let migrate_thread t ~dst ~stack_words =
-  let c = costs t in
   Stats.Counter.incr t.thread_migrations_c;
   let* p = Thread.proc in
   if Processor.id p = dst then Thread.return ()
   else
-    let* () = Thread.compute (Costs.send_pipeline c ~words:stack_words) in
-    Thread.travel_k ~net:(net t)
+    Transport.migrate t.tp t.thread_migrate_k
       ~dst:(Machine.proc t.machine dst)
-      ~words:stack_words ~kind:t.thread_migrate_k
-      ~recv_work:(Costs.recv_pipeline c ~words:stack_words ~new_thread:true)
+      ~words:stack_words ~fresh:true
 
 let thread_migrations t = Stats.get (stats t) "rt.thread_migrations"
 

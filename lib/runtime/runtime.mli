@@ -41,6 +41,11 @@ val create : Machine.t -> t
 
 val machine : t -> Machine.t
 
+val transport : t -> Transport.t
+(** The machine transport this runtime sends through (its kinds:
+    ["rpc"], ["rpc_reply"], ["migrate"], ["migrate_return"],
+    ["thread_migrate"]). *)
+
 val access_name : access -> string
 (** ["rpc"] or ["migrate"]. *)
 

@@ -12,6 +12,7 @@ type t = {
   cache_hits : int;
   cache_misses : int;
   counters : (string * int) list;
+  transport : (string * int) list;
 }
 
 let traffic_prefix = "net.words."
@@ -56,6 +57,9 @@ let collect machine =
     cache_hits = Stats.get stats "cache.hits";
     cache_misses = Stats.get stats "cache.misses";
     counters = List.filter interesting counters;
+    (* Delivery accounting lives in the transport's own registry (it is
+       deliberately kept out of the machine stats and the run digests). *)
+    transport = Stats.counters (Transport.stats (Machine.transport machine));
   }
 
 let pp ppf t =
@@ -77,6 +81,10 @@ let pp ppf t =
   if t.counters <> [] then begin
     Format.fprintf ppf "  subsystem counters:@\n";
     List.iter (fun (name, v) -> Format.fprintf ppf "    %-28s %d@\n" name v) t.counters
+  end;
+  if t.transport <> [] then begin
+    Format.fprintf ppf "  transport delivery:@\n";
+    List.iter (fun (name, v) -> Format.fprintf ppf "    %-28s %d@\n" name v) t.transport
   end
 
 let print machine = Format.printf "%a@." pp (collect machine)

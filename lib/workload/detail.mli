@@ -18,6 +18,9 @@ type t = {
   cache_hits : int;
   cache_misses : int;
   counters : (string * int) list;  (** remaining interesting counters *)
+  transport : (string * int) list;
+      (** transport delivery accounting ([xport.<kind>.*], from the
+          transport's own registry — see {!Transport.stats}) *)
 }
 
 val collect : Machine.t -> t

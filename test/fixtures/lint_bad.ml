@@ -25,6 +25,15 @@ let _bad_poly_qualified xs = List.sort Stdlib.compare xs
 (* Applied compare is specialized by the compiler and must NOT fire. *)
 let _ok_applied_compare a b = compare a b
 
+let _bad_raw_send net deliver = Network.send net ~src:0 ~dst:1 ~words:8 ~kind:"x" deliver
+
+let _bad_raw_send_k net k deliver = Network.send_k net ~src:0 ~dst:1 ~words:8 ~kind:k deliver
+
+(* The fully-qualified path must not slip past the rule. *)
+let _bad_raw_send_qualified net d = Cm_machine.Network.send net ~src:0 ~dst:1 ~words:8 ~kind:"x" d
+
 let _allowed () = Hashtbl.iter ignore (Hashtbl.create 1) (* lint: allow hashtbl-order *)
 
 let _allowed_poly xs = List.sort compare xs (* lint: allow poly-compare *)
+
+let _allowed_raw_send net d = Network.send net ~src:0 ~dst:1 ~words:8 ~kind:"x" d (* lint: allow raw-send *)
