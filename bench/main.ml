@@ -27,6 +27,11 @@
                                             a few rows without the whole
                                             sweep); with [f], record them as
                                             JSON
+     dune exec bench/main.exe -- sweep [f]  wall-clock of the full fig2 and
+                                            table1 sweeps at -j 1 vs -j N
+                                            (N from CM_JOBS, default 4);
+                                            JSON with a speedup field per
+                                            experiment (default BENCH_pr4.json)
 *)
 
 open Cm_experiments
@@ -122,6 +127,28 @@ let specs ~full =
     };
   ]
 
+(* --- JSON emission (hand-rolled: the container has no JSON library
+   and the schema is flat).  A record is a list of pre-rendered
+   (key, value) fields; both the bechamel pass and the sweep mode feed
+   this one writer. *)
+
+let json_str name v = Printf.sprintf "%S: %S" name v
+
+let json_float name v = Printf.sprintf "%S: %.6e" name v
+
+let json_int name v = Printf.sprintf "%S: %d" name v
+
+let write_json ~mode path records =
+  let oc = open_out path in
+  let record fields = "    {" ^ String.concat ", " fields ^ "}" in
+  Printf.fprintf oc "{\n  \"schema\": \"cm-bench/1\",\n  \"mode\": %S,\n  \"tests\": [\n%s\n  ]\n}\n"
+    mode
+    (String.concat ",\n" (List.map record records));
+  close_out oc;
+  Printf.printf "wrote %s (%d tests)\n%!" path (List.length records)
+
+(* --- bechamel pass ------------------------------------------------ *)
+
 type result = {
   r_name : string;
   ns_per_run : float option;
@@ -164,37 +191,22 @@ let measure ~quota ~limit spec =
   | None -> Printf.printf "%-28s (no estimate)\n%!" spec.name);
   { r_name = spec.name; ns_per_run = !estimate; sim_cycles; events_fired }
 
-(* Hand-rolled JSON writer — the container has no JSON library and the
-   schema is flat. *)
-let write_json ~mode path results =
-  let oc = open_out path in
-  let field_opt name pp = function None -> [] | Some v -> [ Printf.sprintf "%S: %s" name (pp v) ] in
-  let float_pp v = Printf.sprintf "%.6e" v in
-  let int_pp = string_of_int in
-  let record r =
-    let derived =
-      match (r.ns_per_run, r.sim_cycles, r.events_fired) with
-      | Some ns, Some cycles, Some events when ns > 0. ->
-        [
-          Printf.sprintf "%S: %s" "sim_cycles_per_sec" (float_pp (float_of_int cycles /. (ns *. 1e-9)));
-          Printf.sprintf "%S: %s" "events_per_sec" (float_pp (float_of_int events /. (ns *. 1e-9)));
-        ]
-      | _ -> []
-    in
-    let fields =
-      [ Printf.sprintf "%S: %S" "name" r.r_name ]
-      @ field_opt "ns_per_run" float_pp r.ns_per_run
-      @ field_opt "sim_cycles" int_pp r.sim_cycles
-      @ field_opt "events_fired" int_pp r.events_fired
-      @ derived
-    in
-    "    {" ^ String.concat ", " fields ^ "}"
+let result_fields r =
+  let opt f = function None -> [] | Some v -> [ f v ] in
+  let derived =
+    match (r.ns_per_run, r.sim_cycles, r.events_fired) with
+    | Some ns, Some cycles, Some events when ns > 0. ->
+      [
+        json_float "sim_cycles_per_sec" (float_of_int cycles /. (ns *. 1e-9));
+        json_float "events_per_sec" (float_of_int events /. (ns *. 1e-9));
+      ]
+    | _ -> []
   in
-  Printf.fprintf oc "{\n  \"schema\": \"cm-bench/1\",\n  \"mode\": %S,\n  \"tests\": [\n%s\n  ]\n}\n"
-    mode
-    (String.concat ",\n" (List.map record results));
-  close_out oc;
-  Printf.printf "wrote %s (%d tests)\n%!" path (List.length results)
+  [ json_str "name" r.r_name ]
+  @ opt (json_float "ns_per_run") r.ns_per_run
+  @ opt (json_int "sim_cycles") r.sim_cycles
+  @ opt (json_int "events_fired") r.events_fired
+  @ derived
 
 let run_bechamel ?only ~mode ~quota ~limit ~full ~json () =
   print_endline "\n=== Bechamel micro-benchmarks (wall-clock of the regenerating sims) ===";
@@ -212,13 +224,74 @@ let run_bechamel ?only ~mode ~quota ~limit ~full ~json () =
         names
   in
   let results = List.map (measure ~quota ~limit) selected in
-  match json with Some path -> write_json ~mode path results | None -> ()
+  match json with
+  | Some path -> write_json ~mode path (List.map result_fields results)
+  | None -> ()
+
+(* --- sweep mode: full-sweep wall clock at -j 1 vs -j N ------------ *)
+
+(* Run [f] with stdout sent to /dev/null: the sweep mode times whole
+   experiments, whose printed tables are already covered by the
+   reproduction modes and would drown the timing lines here.  Both the
+   -j 1 and -j N runs print (into the void) identically, so discarding
+   the bytes does not skew the comparison. *)
+let with_discarded_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o600 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let timed_run ?pool entry =
+  let t0 = Unix.gettimeofday () in
+  with_discarded_stdout (fun () -> Registry.run ?pool entry);
+  (Unix.gettimeofday () -. t0) *. 1e3
+
+let run_sweep ~jobs ~json () =
+  Printf.printf "\n=== Sweep wall-clock: -j 1 vs -j %d (full fig2 + table1) ===\n%!" jobs;
+  let entries =
+    List.map
+      (fun id ->
+        match Registry.find id with
+        | Some e -> e
+        | None -> failwith ("no such experiment: " ^ id))
+      [ "fig2"; "table1" ]
+  in
+  let records =
+    List.map
+      (fun entry ->
+        let j1_ms = timed_run entry in
+        let pool = Cm_engine.Pool.create ~domains:jobs in
+        let jn_ms =
+          Fun.protect
+            ~finally:(fun () -> Cm_engine.Pool.shutdown pool)
+            (fun () -> timed_run ~pool entry)
+        in
+        let speedup = j1_ms /. jn_ms in
+        Printf.printf "%-10s  -j 1 %8.0f ms   -j %d %8.0f ms   speedup %.2fx\n%!"
+          entry.Registry.id j1_ms jobs jn_ms speedup;
+        [
+          json_str "name" entry.Registry.id;
+          json_int "jobs" jobs;
+          json_float "j1_ms" j1_ms;
+          json_float "jn_ms" jn_ms;
+          json_float "speedup" speedup;
+        ])
+      entries
+  in
+  write_json ~mode:"sweep" json records
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let json_arg default = if Array.length Sys.argv > 2 then Sys.argv.(2) else default in
   let quick = mode = "quick" in
-  if mode <> "bench" && mode <> "smoke" && mode <> "one" then begin
+  if mode <> "bench" && mode <> "smoke" && mode <> "one" && mode <> "sweep" then begin
     print_endline "Reproduction of every table and figure (see EXPERIMENTS.md for discussion):";
     Registry.run_all ~quick ()
   end;
@@ -241,4 +314,11 @@ let () =
     let names = String.split_on_char ',' (json_arg "table1:btree-throughput") in
     let json = if Array.length Sys.argv > 3 then Some Sys.argv.(3) else None in
     run_bechamel ~only:names ~mode ~quota:3.0 ~limit:500 ~full:true ~json ()
+  | "sweep" ->
+    let jobs =
+      match Option.bind (Sys.getenv_opt "CM_JOBS") int_of_string_opt with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 4
+    in
+    run_sweep ~jobs ~json:(json_arg "BENCH_pr4.json") ()
   | _ -> run_bechamel ~mode ~quota:0.5 ~limit:200 ~full:false ~json:None ()

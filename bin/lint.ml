@@ -35,6 +35,15 @@
                       send/receive pipelines, fault injection, delivery
                       accounting) — hand-rolled pipelines drift and
                       re-intern kind labels on hot paths.
+     global-state     toplevel `ref`, `Hashtbl.create` or `Atomic.make` in
+                      a library module: shared mutable state is visible to
+                      every domain at once, so it either races under the
+                      parallel sweep harness or (when guarded) couples
+                      runs that must be independent.  State belongs in
+                      the machine/runtime instance, in Domain.DLS, or —
+                      for genuinely cross-domain toggles — in an Atomic
+                      with a vetting comment.  Only module-toplevel
+                      bindings are flagged; function-local state is fine.
 
    Suppression: a finding is allowed when its line (or the line above)
    carries "(* lint: allow <rule> *)", or the file carries
@@ -159,6 +168,60 @@ let hashtbl_create_random args =
       | _ -> false)
     args
 
+(* --- global-state: toplevel mutable state in library modules.  A
+   separate walk from the expression iterator: only bindings at module
+   toplevel (including nested/included module structures) are flagged —
+   a `ref` inside a function body or a functor (fresh per application)
+   is per-call state and fine. *)
+
+let rec peel_constraint (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> peel_constraint e'
+  | _ -> e
+
+let global_state_ctor e =
+  match (peel_constraint e).Parsetree.pexp_desc with
+  | Pexp_apply (fn, _) -> (
+    match ident_path fn with
+    | Some [ "ref" ] -> Some "ref"
+    | Some [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+    | Some [ "Atomic"; "make" ] -> Some "Atomic.make"
+    | _ -> None)
+  | _ -> None
+
+let rec check_structure ~file (items : Parsetree.structure) =
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match global_state_ctor vb.pvb_expr with
+            | Some ctor ->
+              let line = vb.pvb_expr.pexp_loc.Location.loc_start.Lexing.pos_lnum in
+              report ~file ~line ~rule:"global-state"
+                (Printf.sprintf
+                   "toplevel %s is mutable state shared across domains and runs; move it \
+                    into the machine/runtime instance or Domain.DLS, or vet it as an \
+                    Atomic with an allow comment"
+                   ctor)
+            | None -> ())
+          bindings
+      | Pstr_module { pmb_expr; _ } -> check_module_expr ~file pmb_expr
+      | Pstr_recmodule mbs ->
+        List.iter
+          (fun (mb : Parsetree.module_binding) -> check_module_expr ~file mb.pmb_expr)
+          mbs
+      | Pstr_include { pincl_mod; _ } -> check_module_expr ~file pincl_mod
+      | _ -> ())
+    items
+
+and check_module_expr ~file (m : Parsetree.module_expr) =
+  match m.pmod_desc with
+  | Pmod_structure items -> check_structure ~file items
+  | Pmod_constraint (m', _) -> check_module_expr ~file m'
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* The walk                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -233,7 +296,8 @@ let lint_file file =
           Ast_iterator.default_iterator.expr self e);
     }
   in
-  iter.structure iter ast
+  iter.structure iter ast;
+  check_structure ~file ast
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)

@@ -1,12 +1,17 @@
 (* Command-line driver: regenerate any table or figure of the paper.
 
    Usage:
-     repro all [--quick]          every experiment in paper order
-     repro fig2 [--quick]         one experiment
-     repro list                   show available experiments
-     repro custom ...             a custom single run (scheme/app/params)
-     repro selfcheck [--full]     prove same-seed determinism under sanitizers
-*)
+     repro all [--quick] [-j N]    every experiment in paper order
+     repro fig2 [--quick] [-j N]   one experiment
+     repro list                    show available experiments
+     repro custom ...              a custom single run (scheme/app/params)
+     repro selfcheck [--full] [-j N]
+                                   prove same-seed determinism under sanitizers
+
+   [-j N] (or the CM_JOBS environment variable) runs the sweep points of
+   each experiment on a pool of N domains; the printed output is
+   byte-identical to [-j 1] — sweep points are pure jobs and all
+   printing happens on the main domain in sweep order. *)
 
 open Cmdliner
 open Cm_engine
@@ -16,15 +21,46 @@ let quick_arg =
   let doc = "Run with reduced horizons and fewer sweep points (for smoke tests)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run sweep points on $(docv) domains (default: the $(b,CM_JOBS) environment variable, \
+     or 1).  Output is byte-identical to -j 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let effective_jobs = function
+  | Some n -> max 1 n
+  | None -> (
+    match Sys.getenv_opt "CM_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | Some _ | None -> 1)
+    | None -> 1)
+
+(* Run [f] with a pool of [jobs] domains (none when sequential), always
+   shut down afterwards. *)
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = Pool.create ~domains:jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f (Some pool))
+  end
+
 let experiment_cmd entry =
   let doc = entry.Registry.title in
   Cmd.v
     (Cmd.info entry.Registry.id ~doc)
-    Term.(const (fun quick -> entry.Registry.run ~quick ()) $ quick_arg)
+    Term.(
+      const (fun quick jobs ->
+          with_pool (effective_jobs jobs) (fun pool -> Registry.run ~quick ?pool entry))
+      $ quick_arg $ jobs_arg)
 
 let all_cmd =
   let doc = "Run every table and figure in paper order." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const (fun quick -> Registry.run_all ~quick ()) $ quick_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const (fun quick jobs ->
+          with_pool (effective_jobs jobs) (fun pool -> Registry.run_all ~quick ?pool ()))
+      $ quick_arg $ jobs_arg)
 
 let list_cmd =
   let doc = "List available experiments." in
@@ -115,11 +151,11 @@ let with_captured_stdout f =
 (* One sanitized run of an experiment: every machine the experiment
    drives appends a digest of (final clock, events fired, statistics) to
    the Check trail, and the printed report is hashed as well. *)
-let sanitized_run entry ~quick =
+let sanitized_run ?pool entry ~quick =
   Check.set_enabled true;
   Check.reset ();
   Check.Trail.set_recording true;
-  let result, printed = with_captured_stdout (fun () -> entry.Registry.run ~quick ()) in
+  let result, printed = with_captured_stdout (fun () -> Registry.run ~quick ?pool entry) in
   Check.Trail.set_recording false;
   (result, Check.Trail.trail (), Digest.to_hex (Digest.string printed))
 
@@ -129,39 +165,42 @@ let rec first_diff i a b =
   | x :: a', y :: b' -> if String.equal x y then first_diff (i + 1) a' b' else Some i
   | _, [] | [], _ -> Some i
 
-let selfcheck full =
+let selfcheck full jobs =
   let quick = not full in
   let failures = ref 0 in
-  List.iter
-    (fun entry ->
-      let id = entry.Registry.id in
-      match (sanitized_run entry ~quick, sanitized_run entry ~quick) with
-      | (Ok (), trail1, out1), (Ok (), trail2, out2) ->
-        if trail1 = trail2 && String.equal out1 out2 then
-          (* The machine digest is printed so that a semantics-preserving
-             change (e.g. a perf PR) can diff this output against the
-             previous revision's and prove bit-identical behavior, not
-             just within-revision reproducibility. *)
-          Printf.printf "selfcheck %-10s ok: %d machine run(s) identical, machines %s report %s\n"
-            id (List.length trail1)
-            (String.sub (Digest.to_hex (Digest.string (String.concat "," trail1))) 0 12)
-            (String.sub out1 0 (min 12 (String.length out1)))
-        else begin
-          incr failures;
-          Printf.printf "selfcheck %-10s MISMATCH between same-seed runs\n" id;
-          (match first_diff 0 trail1 trail2 with
-          | Some i ->
-            Printf.printf "  machine-run digests diverge at run %d (%d vs %d runs recorded)\n"
-              i (List.length trail1) (List.length trail2)
-          | None -> ());
-          if not (String.equal out1 out2) then
-            Printf.printf "  printed reports differ (%s vs %s)\n" out1 out2
-        end
-      | ((Error e, _, _), _ | _, (Error e, _, _)) ->
-        incr failures;
-        Printf.printf "selfcheck %-10s FAILED under sanitizers: %s\n" id
-          (Printexc.to_string e))
-    Registry.all;
+  with_pool (effective_jobs jobs) (fun pool ->
+      List.iter
+        (fun entry ->
+          let id = entry.Registry.id in
+          match (sanitized_run ?pool entry ~quick, sanitized_run ?pool entry ~quick) with
+          | (Ok (), trail1, out1), (Ok (), trail2, out2) ->
+            if trail1 = trail2 && String.equal out1 out2 then
+              (* The machine digest is printed so that a semantics-preserving
+                 change (e.g. a perf PR) can diff this output against the
+                 previous revision's and prove bit-identical behavior, not
+                 just within-revision reproducibility. *)
+              Printf.printf
+                "selfcheck %-10s ok: %d machine run(s) identical, machines %s report %s\n" id
+                (List.length trail1)
+                (String.sub (Digest.to_hex (Digest.string (String.concat "," trail1))) 0 12)
+                (String.sub out1 0 (min 12 (String.length out1)))
+            else begin
+              incr failures;
+              Printf.printf "selfcheck %-10s MISMATCH between same-seed runs\n" id;
+              (match first_diff 0 trail1 trail2 with
+              | Some i ->
+                Printf.printf
+                  "  machine-run digests diverge at run %d (%d vs %d runs recorded)\n" i
+                  (List.length trail1) (List.length trail2)
+              | None -> ());
+              if not (String.equal out1 out2) then
+                Printf.printf "  printed reports differ (%s vs %s)\n" out1 out2
+            end
+          | ((Error e, _, _), _ | _, (Error e, _, _)) ->
+            incr failures;
+            Printf.printf "selfcheck %-10s FAILED under sanitizers: %s\n" id
+              (Printexc.to_string e))
+        Registry.all);
   Check.set_enabled false;
   Check.reset ();
   if !failures > 0 then begin
@@ -181,7 +220,7 @@ let selfcheck_cmd =
     "Run every registered experiment twice with the same seed, all sanitizers enabled, and \
      fail unless the two runs are bit-identical (machine digests and printed reports)."
   in
-  Cmd.v (Cmd.info "selfcheck" ~doc) Term.(const selfcheck $ full_arg)
+  Cmd.v (Cmd.info "selfcheck" ~doc) Term.(const selfcheck $ full_arg $ jobs_arg)
 
 let () =
   let doc = "Reproduce the evaluation of Hsieh/Wang/Weihl, PPoPP 1993" in

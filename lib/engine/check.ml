@@ -1,8 +1,11 @@
 exception Violation of string
 
-let enabled_flag = ref false
+(* The enable switch is the one piece of checker state every domain must
+   see: it is flipped by the main domain between runs and only read on
+   the hot paths, so a plain atomic is both safe and free. *)
+let enabled_flag = Atomic.make false (* lint: allow global-state — cross-domain on/off toggle, vetted *)
 
-let enabled () = !enabled_flag
+let enabled () = Atomic.get enabled_flag
 
 let fail msg = raise (Violation msg)
 
@@ -14,37 +17,61 @@ let require cond fmt =
 module Linear = struct
   type token = { id : int; what : string; mutable used : bool }
 
-  let next_id = ref 0
+  (* The token registry is domain-local: a simulation runs entirely on
+     one domain, so a token is always created and consumed on the same
+     domain, and two machines running on two domains never share (or
+     race on) a table. *)
+  type registry = { mutable next_id : int; live : (int, string) Hashtbl.t }
 
-  (* Tokens created but not yet used; the value is the creation label so
-     leaks can be reported by name. *)
-  let live : (int, string) Hashtbl.t = Hashtbl.create 256
+  let fresh_registry () = { next_id = 0; live = Hashtbl.create 256 }
+
+  let registry_key = Domain.DLS.new_key fresh_registry
+
+  let registry () = Domain.DLS.get registry_key
 
   let make ~what =
-    let id = !next_id in
-    incr next_id;
-    Hashtbl.replace live id what;
+    let r = registry () in
+    let id = r.next_id in
+    r.next_id <- id + 1;
+    (* [live] holds tokens created but not yet used; the value is the
+       creation label so leaks can be reported by name. *)
+    Hashtbl.replace r.live id what;
     { id; what; used = false }
 
   let use tok =
     if tok.used then failf "continuation resumed twice: %s" tok.what;
     tok.used <- true;
-    Hashtbl.remove live tok.id
+    Hashtbl.remove (registry ()).live tok.id
 
-  let outstanding () = Hashtbl.length live
+  let outstanding () = Hashtbl.length (registry ()).live
 
   let outstanding_whats () =
     (* The fold feeds a sort, so table order never escapes. *)
-    Hashtbl.fold (fun _ what acc -> what :: acc) live [] (* lint: allow hashtbl-order *)
+    Hashtbl.fold (fun _ what acc -> what :: acc) (registry ()).live [] (* lint: allow hashtbl-order *)
     |> List.sort String.compare
 
   let reset () =
-    Hashtbl.reset live;
-    next_id := 0
+    let r = registry () in
+    Hashtbl.reset r.live;
+    r.next_id <- 0
+
+  (* Run [f] under a registry of its own and restore the caller's
+     afterwards — how the pool keeps one job's dropped continuations
+     from surviving into the next job scheduled on the same domain. *)
+  let scoped f =
+    let saved = registry () in
+    Domain.DLS.set registry_key (fresh_registry ());
+    match f () with
+    | v ->
+      Domain.DLS.set registry_key saved;
+      v
+    | exception e ->
+      Domain.DLS.set registry_key saved;
+      raise e
 end
 
 let linear ~what f =
-  if not !enabled_flag then f
+  if not (Atomic.get enabled_flag) then f
   else begin
     let tok = Linear.make ~what in
     fun v ->
@@ -53,13 +80,21 @@ let linear ~what f =
   end
 
 module Trail = struct
-  let recording = ref false
+  (* Like the enable switch, the recording flag is set by the main
+     domain and read by whichever domain runs the machine. *)
+  let recording = Atomic.make false (* lint: allow global-state — cross-domain on/off toggle, vetted *)
 
-  let entries : string list ref = ref []
+  (* The digests themselves are domain-local (newest first); a pool
+     worker records into its own list and Pool.await splices each job's
+     fragment into the submitting domain's trail in submission order,
+     so the trail a caller observes is identical at any [-j]. *)
+  let entries_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-  let set_recording b = recording := b
+  let entries () = Domain.DLS.get entries_key
 
-  let is_recording () = !recording
+  let set_recording b = Atomic.set recording b
+
+  let is_recording () = Atomic.get recording
 
   let digest_of_run ~clock ~fired ~stats =
     let b = Buffer.create 512 in
@@ -76,14 +111,36 @@ module Trail = struct
     Digest.to_hex (Digest.string (Buffer.contents b))
 
   let record_run ~clock ~fired ~stats =
-    if !recording then entries := digest_of_run ~clock ~fired ~stats :: !entries
+    if Atomic.get recording then begin
+      let r = entries () in
+      r := digest_of_run ~clock ~fired ~stats :: !r
+    end
 
-  let trail () = List.rev !entries
+  let trail () = List.rev !(entries ())
 
-  let reset () = entries := []
+  let reset () = entries () := []
+
+  let capture f =
+    let r = entries () in
+    let saved = !r in
+    r := [];
+    match f () with
+    | v ->
+      let fragment = List.rev !r in
+      r := saved;
+      (v, fragment)
+    | exception e ->
+      r := saved;
+      raise e
+
+  let append fragment =
+    let r = entries () in
+    List.iter (fun digest -> r := digest :: !r) fragment
 end
 
-let set_enabled b = enabled_flag := b
+let capture_job f = Linear.scoped (fun () -> Trail.capture f)
+
+let set_enabled b = Atomic.set enabled_flag b
 
 let reset () =
   Linear.reset ();

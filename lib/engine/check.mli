@@ -18,7 +18,14 @@
 
     The {!Trail} submodule records a digest of each completed run
     (final clock, events fired, statistics) so [repro selfcheck] can
-    prove same-seed determinism end to end. *)
+    prove same-seed determinism end to end.
+
+    All checker state is domain-safe: the on/off toggles are atomics,
+    and the mutable working state ({!Linear} token registry, {!Trail}
+    digest list) is domain-local, so machines running on different
+    {!Pool} domains never share a cell.  The [reset]/[trail] accessors
+    operate on the calling domain's state; {!Pool.await} splices worker
+    trail fragments back into the submitting domain. *)
 
 exception Violation of string
 (** Raised at the first invariant breach when checking is enabled. *)
@@ -63,7 +70,8 @@ module Linear : sig
 
   val outstanding : unit -> int
   (** Number of tokens created but never used (potential dropped
-      continuations; legitimate when a run is horizon-stopped). *)
+      continuations; legitimate when a run is horizon-stopped).
+      Domain-local, like the registry itself. *)
 
   val outstanding_whats : unit -> string list
   (** Labels of the outstanding tokens, sorted. *)
@@ -96,7 +104,22 @@ module Trail : sig
       count, and every counter and distribution, name-sorted). *)
 
   val trail : unit -> string list
-  (** All digests recorded so far, in run order. *)
+  (** All digests recorded so far on this domain, in run order. *)
 
   val reset : unit -> unit
+
+  val capture : (unit -> 'a) -> 'a * string list
+  (** [capture f] runs [f] against an empty trail and returns what it
+      recorded (in run order), restoring the caller's trail untouched.
+      How a pool worker bounds one job's digests. *)
+
+  val append : string list -> unit
+  (** [append fragment] appends captured digests (in order) to the
+      calling domain's trail. *)
 end
+
+val capture_job : (unit -> 'a) -> 'a * string list
+(** [capture_job f] runs [f] as one pool job: a fresh {!Linear} scope
+    (tokens cannot leak between jobs sharing a worker domain) and a
+    {!Trail.capture}d trail fragment for {!Pool.await} to splice back
+    in submission order. *)

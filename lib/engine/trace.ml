@@ -1,14 +1,18 @@
 type level = Quiet | Events | Debug
 
-let current = ref Quiet
+(* Atomic so a machine running on a pool domain reads the level the main
+   domain set without a data race; it is written only between runs. *)
+let current = Atomic.make Quiet (* lint: allow global-state — cross-domain tracing level, vetted *)
 
-let set_level l = current := l
+let set_level l = Atomic.set current l
 
-let level () = !current
+let level () = Atomic.get current
 
 let rank = function Quiet -> 0 | Events -> 1 | Debug -> 2
 
-let enabled l = rank l <= rank !current && !current <> Quiet
+let enabled l =
+  let c = Atomic.get current in
+  c <> Quiet && rank l <= rank c
 
 let emit l msg = if enabled l then prerr_endline (msg ())
 

@@ -339,3 +339,5 @@ let run ?quick:_ () =
   granularity_ablation ();
   partial_migration_ablation ();
   contention_ablation ()
+
+let plan ?(quick = false) () = Plan.serial (fun () -> run ~quick ())

@@ -59,8 +59,10 @@ let config ~quick ~think =
   if quick then { base with Btree_run.think; horizon = 200_000; warmup = 20_000 }
   else { base with Btree_run.think; horizon = 800_000; warmup = 80_000 }
 
-let measure ~quick ~think schemes =
-  List.map (fun s -> (s, Btree_run.run s (config ~quick ~think))) schemes
+(* One job per scheme, in row order — submitted to the pool by the
+   table plans rather than run inline. *)
+let jobs ~quick ~think schemes =
+  List.map (fun s () -> Btree_run.run s (config ~quick ~think)) schemes
 
 let rows ~paper ~metric measurements =
   List.map

@@ -15,8 +15,9 @@ val paper_bandwidth_t4 : Scheme.t -> float option
 val config : quick:bool -> think:int -> Btree_run.config
 (** The experiment configuration (reduced horizon when [quick]). *)
 
-val measure :
-  quick:bool -> think:int -> Scheme.t list -> (Scheme.t * Cm_workload.Metrics.t) list
+val jobs : quick:bool -> think:int -> Scheme.t list -> Plan.job list
+(** One sweep-point job per scheme, in row order; pair the results back
+    with the schemes ([List.combine]) to feed {!rows}. *)
 
 val rows :
   paper:(Scheme.t -> float option) ->

@@ -62,21 +62,32 @@ let measure ~quick mode workload =
     }
     (request table workload)
 
-let run ?(quick = false) () =
+let workloads = [ Points; Scans; Mixed ]
+
+let jobs ~quick =
+  List.concat_map
+    (fun workload -> List.map (fun mode () -> measure ~quick mode workload) modes)
+    workloads
+
+let render results =
   Report.print_header "Extension: distributed hash table across mechanisms";
-  List.iter
-    (fun workload ->
+  List.iter2
+    (fun workload ms ->
       Printf.printf "\n-- %s --\n" (workload_name workload);
-      List.iter
-        (fun mode ->
-          let m = measure ~quick mode workload in
+      List.iter2
+        (fun mode m ->
           Printf.printf "   %-14s %8.3f ops/1000cyc  %8.2f words/10cyc  mean latency %6.0f\n"
             (Dht.mode_name mode) m.Cm_workload.Metrics.throughput
             m.Cm_workload.Metrics.bandwidth m.Cm_workload.Metrics.mean_latency)
-        modes)
-    [ Points; Scans; Mixed ];
+        modes ms)
+    workloads
+    (Plan.chunk (List.length modes) results);
   Report.print_note
     "Point operations: RPC and migration tie (isolated accesses cost two messages";
   Report.print_note
     "either way); range scans: migration wins by chaining; the adaptive policy";
   Report.print_note "tracks the better static choice on each workload."
+
+let plan ?(quick = false) () = Plan.sweep ~jobs:(jobs ~quick) ~render
+
+let run ?(quick = false) () = Plan.execute (plan ~quick ())

@@ -9,33 +9,47 @@ let paper = function
   | Scheme.Cp { hw = false; repl = true } -> Some 2.076
   | Scheme.Rpc _ | Scheme.Cp _ -> None
 
-let run ?(quick = false) () =
-  Report.print_header "Fanout-10 B-tree: relieving the below-root bottleneck (S4.2)";
-  let config =
+let schemes = [ Scheme.Sm; Scheme.Cp { hw = false; repl = true } ]
+
+let paper100 = function
+  | Scheme.Sm -> Some 1.837
+  | Scheme.Cp { hw = false; repl = true } -> Some 1.155
+  | Scheme.Rpc _ | Scheme.Cp _ -> None
+
+(* Jobs: the two schemes at fanout 10, then the same two at fanout 100
+   for the contrast the paper draws. *)
+let jobs ~quick =
+  let config10 =
     let base = Btree_tables.config ~quick ~think:0 in
     { base with Btree_run.fanout = 10; fill = 0.75 }
   in
-  let schemes = [ Scheme.Sm; Scheme.Cp { hw = false; repl = true } ] in
-  let ms = List.map (fun s -> (s, Btree_run.run s config)) schemes in
+  let config100 = Btree_tables.config ~quick ~think:0 in
+  List.map (fun s () -> Btree_run.run s config10) schemes
+  @ List.map (fun s () -> Btree_run.run s config100) schemes
+
+let render results =
+  let ms10, ms100 =
+    match Plan.chunk (List.length schemes) results with
+    | [ a; b ] -> (a, b)
+    | _ -> invalid_arg "fanout10: bad result shape"
+  in
+  Report.print_header "Fanout-10 B-tree: relieving the below-root bottleneck (S4.2)";
   Report.print_table ~metric:"ops/1000cyc"
-    (Btree_tables.rows ~paper ~metric:`Throughput ms);
-  (* The same two schemes at fanout 100, for the contrast the paper
-     draws. *)
-  let ms100 = List.map (fun s -> (s, Btree_run.run s (Btree_tables.config ~quick ~think:0))) schemes in
+    (Btree_tables.rows ~paper ~metric:`Throughput (List.combine schemes ms10));
   Report.print_note "For contrast, the same schemes at fanout 100:";
   Report.print_table ~metric:"ops/1000cyc"
-    (List.map
-       (fun (s, m) ->
+    (List.map2
+       (fun s m ->
          {
            Report.label = Scheme.name s ^ " (fanout 100)";
-           paper =
-             (match s with
-             | Scheme.Sm -> Some 1.837
-             | Scheme.Cp { hw = false; repl = true } -> Some 1.155
-             | Scheme.Rpc _ | Scheme.Cp _ -> None);
+           paper = paper100 s;
            measured = m.Cm_workload.Metrics.throughput;
          })
-       ms100);
+       schemes ms100);
   Report.print_note
     "Paper shape: small nodes narrow the SM advantage (2.427 vs 2.076, i.e. ~1.17x,";
   Report.print_note "down from ~1.6x at fanout 100)."
+
+let plan ?(quick = false) () = Plan.sweep ~jobs:(jobs ~quick) ~render
+
+let run ?(quick = false) () = Plan.execute (plan ~quick ())

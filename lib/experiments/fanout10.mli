@@ -4,3 +4,7 @@
     memory. *)
 
 val run : ?quick:bool -> unit -> unit
+
+val plan : ?quick:bool -> unit -> Plan.t
+(** The experiment as a {!Plan} — sweep experiments expose their points
+    as pool-schedulable jobs; bespoke ones stay serial. *)

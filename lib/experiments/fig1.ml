@@ -39,6 +39,8 @@ let run_shmem ~n ~m =
   Machine.run machine;
   Network.total_messages machine.Machine.net
 
+(* The cells are cheap and the printing is interleaved with the runs, so
+   this experiment stays a serial plan. *)
 let run ?quick:_ () =
   Report.print_header
     "Figure 1: messages for one thread making n accesses to each of m remote items";
@@ -57,3 +59,5 @@ let run ?quick:_ () =
   Report.print_note
     "migration short-circuits returns, so repeated and chained accesses cost one";
   Report.print_note "message each plus a single reply."
+
+let plan ?(quick = false) () = Plan.serial (fun () -> run ~quick ())

@@ -10,3 +10,7 @@ val run_shmem : n:int -> m:int -> int
 
 val run : ?quick:bool -> unit -> unit
 (** Print the sweep with the closed forms alongside. *)
+
+val plan : ?quick:bool -> unit -> Plan.t
+(** The experiment as a {!Plan} — sweep experiments expose their points
+    as pool-schedulable jobs; bespoke ones stay serial. *)

@@ -2,3 +2,7 @@
     the paper's five schemes at both think times. *)
 
 val run : ?quick:bool -> unit -> unit
+
+val plan : ?quick:bool -> unit -> Plan.t
+(** The experiment as a {!Plan} — sweep experiments expose their points
+    as pool-schedulable jobs; bespoke ones stay serial. *)

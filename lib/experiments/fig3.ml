@@ -2,7 +2,7 @@
    is this module's purpose. *)
 (* Figure 3: counting-network bandwidth (words sent / 10 cycles) vs the
    number of requesters, for RPC, shared memory, and computation
-   migration, at both think times. *)
+   migration, at both think times.  Structured as a Plan, like fig2. *)
 
 let schemes =
   [
@@ -13,33 +13,49 @@ let schemes =
 
 let requester_counts ~quick = if quick then [ 8; 32; 64 ] else [ 8; 16; 32; 48; 64 ]
 
-let sweep ~quick ~think =
-  let horizon = if quick then 150_000 else 400_000 in
-  List.map
-    (fun scheme ->
-      let ys =
-        List.map
-          (fun requesters ->
-            let m =
-              Counting_run.run scheme
-                { Counting_run.default with Counting_run.requesters; think; horizon }
-            in
-            m.Cm_workload.Metrics.bandwidth)
-          (requester_counts ~quick)
-      in
-      (Scheme.name scheme, ys))
-    schemes
+let thinks = [ 0; 10_000 ]
 
-let run ?(quick = false) () =
+let jobs ~quick =
+  let horizon = if quick then 150_000 else 400_000 in
+  List.concat_map
+    (fun think ->
+      List.concat_map
+        (fun scheme ->
+          List.map
+            (fun requesters () ->
+              Counting_run.run scheme
+                { Counting_run.default with Counting_run.requesters; think; horizon })
+            (requester_counts ~quick))
+        schemes)
+    thinks
+
+let series ~quick results =
+  List.map2
+    (fun scheme ms ->
+      (Scheme.name scheme, List.map (fun m -> m.Cm_workload.Metrics.bandwidth) ms))
+    schemes
+    (Plan.chunk (List.length (requester_counts ~quick)) results)
+
+let render ~quick results =
   let xs = requester_counts ~quick in
+  let per_think = List.length schemes * List.length xs in
+  let think0, think10k =
+    match Plan.chunk per_think results with
+    | [ a; b ] -> (a, b)
+    | _ -> invalid_arg "fig3: bad result shape"
+  in
   Report.print_header "Figure 3: counting-network bandwidth vs number of requesters";
   Printf.printf "\n-- think time 0 cycles --\n";
   Report.print_series ~x_label:"total processes" ~metric:"words sent/10 cycles" ~xs
-    (sweep ~quick ~think:0);
+    (series ~quick think0);
   Printf.printf "\n-- think time 10000 cycles --\n";
   Report.print_series ~x_label:"total processes" ~metric:"words sent/10 cycles" ~xs
-    (sweep ~quick ~think:10_000);
+    (series ~quick think10k);
   Report.print_note
     "Paper shape: computation migration always needs the least bandwidth (about half";
   Report.print_note
     "of RPC's); shared memory's coherence traffic dominates under high contention."
+
+let plan ?(quick = false) () = Plan.sweep ~jobs:(jobs ~quick) ~render:(render ~quick)
+
+let run ?(quick = false) () = Plan.execute (plan ~quick ())

@@ -129,3 +129,5 @@ let run ?quick:_ () =
     "(Counting-network/B-tree runs under full object migration are omitted: balancer";
   Report.print_note
     "and node objects are write-shared by many threads, which scenario C covers.)"
+
+let plan ?(quick = false) () = Plan.serial (fun () -> run ~quick ())

@@ -11,3 +11,7 @@
     calls. *)
 
 val run : ?quick:bool -> unit -> unit
+
+val plan : ?quick:bool -> unit -> Plan.t
+(** The experiment as a {!Plan} — sweep experiments expose their points
+    as pool-schedulable jobs; bespoke ones stay serial. *)

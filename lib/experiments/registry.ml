@@ -1,25 +1,27 @@
-type entry = { id : string; title : string; run : ?quick:bool -> unit -> unit }
+type entry = { id : string; title : string; plan : ?quick:bool -> unit -> Plan.t }
 
 let all =
   [
-    { id = "fig1"; title = "Figure 1: message-count model"; run = Fig1.run };
-    { id = "fig2"; title = "Figure 2: counting-network throughput"; run = Fig2.run };
-    { id = "fig3"; title = "Figure 3: counting-network bandwidth"; run = Fig3.run };
-    { id = "table1"; title = "Table 1: B-tree throughput (think 0)"; run = Table1.run };
-    { id = "table2"; title = "Table 2: B-tree bandwidth (think 0)"; run = Table2.run };
-    { id = "table3"; title = "Table 3: B-tree throughput (think 10000)"; run = Table3.run };
-    { id = "table4"; title = "Table 4: B-tree bandwidth (think 10000)"; run = Table4.run };
-    { id = "table5"; title = "Table 5: migration cost breakdown"; run = Table5.run };
-    { id = "fanout10"; title = "S4.2: fanout-10 B-tree"; run = Fanout10.run };
-    { id = "ablations"; title = "Ablations of the design choices"; run = Ablations.run };
-    { id = "dht"; title = "Extension: hash table across mechanisms"; run = Dht_bench.run };
+    { id = "fig1"; title = "Figure 1: message-count model"; plan = Fig1.plan };
+    { id = "fig2"; title = "Figure 2: counting-network throughput"; plan = Fig2.plan };
+    { id = "fig3"; title = "Figure 3: counting-network bandwidth"; plan = Fig3.plan };
+    { id = "table1"; title = "Table 1: B-tree throughput (think 0)"; plan = Table1.plan };
+    { id = "table2"; title = "Table 2: B-tree bandwidth (think 0)"; plan = Table2.plan };
+    { id = "table3"; title = "Table 3: B-tree throughput (think 10000)"; plan = Table3.plan };
+    { id = "table4"; title = "Table 4: B-tree bandwidth (think 10000)"; plan = Table4.plan };
+    { id = "table5"; title = "Table 5: migration cost breakdown"; plan = Table5.plan };
+    { id = "fanout10"; title = "S4.2: fanout-10 B-tree"; plan = Fanout10.plan };
+    { id = "ablations"; title = "Ablations of the design choices"; plan = Ablations.plan };
+    { id = "dht"; title = "Extension: hash table across mechanisms"; plan = Dht_bench.plan };
     {
       id = "objmig";
       title = "Extension: object migration vs computation migration";
-      run = Objmig_bench.run;
+      plan = Objmig_bench.plan;
     };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all ?quick () = List.iter (fun e -> e.run ?quick ()) all
+let run ?quick ?pool entry = Plan.execute ?pool (entry.plan ?quick ())
+
+let run_all ?quick ?pool () = List.iter (fun e -> run ?quick ?pool e) all

@@ -5,7 +5,9 @@
 type entry = {
   id : string;  (** CLI name, e.g. ["fig2"], ["table1"] *)
   title : string;
-  run : ?quick:bool -> unit -> unit;
+  plan : ?quick:bool -> unit -> Plan.t;
+      (** Build the experiment's plan: sweep points as jobs plus a
+          render, or a serial procedure (see {!Plan}). *)
 }
 
 val all : entry list
@@ -15,5 +17,10 @@ val all : entry list
 val find : string -> entry option
 (** Look an experiment up by [id]. *)
 
-val run_all : ?quick:bool -> unit -> unit
-(** Run every experiment in order. *)
+val run : ?quick:bool -> ?pool:Cm_engine.Pool.t -> entry -> unit
+(** [run ?quick ?pool entry] executes the entry's plan; sweep points
+    fan out over [pool] when one is given, and the printed output is
+    byte-identical either way. *)
+
+val run_all : ?quick:bool -> ?pool:Cm_engine.Pool.t -> unit -> unit
+(** Run every experiment in order (sharing [pool] across them). *)

@@ -1,3 +1,7 @@
 (** Table 1 of the paper's B-tree evaluation (see {!Btree_tables}). *)
 
 val run : ?quick:bool -> unit -> unit
+
+val plan : ?quick:bool -> unit -> Plan.t
+(** The experiment as a {!Plan} — sweep experiments expose their points
+    as pool-schedulable jobs; bespoke ones stay serial. *)

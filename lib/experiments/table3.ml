@@ -1,11 +1,16 @@
 (* Table 3: B-tree throughput with a 10000-cycle think time (light
    contention on the root): SM vs CP w/repl. (and w/HW). *)
 
-let run ?(quick = false) () =
+let render ms =
   Report.print_header "Table 3: B-tree throughput, 10000-cycle think time";
-  let ms = Btree_tables.measure ~quick ~think:10_000 Btree_tables.think_schemes in
   Report.print_table ~metric:"ops/1000cyc"
-    (Btree_tables.rows ~paper:Btree_tables.paper_throughput_t3 ~metric:`Throughput ms);
+    (Btree_tables.rows ~paper:Btree_tables.paper_throughput_t3 ~metric:`Throughput
+       (List.combine Btree_tables.think_schemes ms));
   Report.print_note
     "Paper shape: with light root contention, CP w/repl.&HW and shared memory have";
   Report.print_note "almost identical throughput."
+
+let plan ?(quick = false) () =
+  Plan.sweep ~jobs:(Btree_tables.jobs ~quick ~think:10_000 Btree_tables.think_schemes) ~render
+
+let run ?(quick = false) () = Plan.execute (plan ~quick ())

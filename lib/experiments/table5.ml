@@ -77,3 +77,5 @@ let run ?quick:_ () =
   if measured <> total then
     Report.print_note
       (Printf.sprintf "NOTE: measured differs from model by %d cycles" (measured - total))
+
+let plan ?(quick = false) () = Plan.serial (fun () -> run ~quick ())

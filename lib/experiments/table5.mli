@@ -9,3 +9,7 @@ val measure_one_migration : unit -> int
     hops, including the 150-cycle method body. *)
 
 val run : ?quick:bool -> unit -> unit
+
+val plan : ?quick:bool -> unit -> Plan.t
+(** The experiment as a {!Plan} — sweep experiments expose their points
+    as pool-schedulable jobs; bespoke ones stay serial. *)

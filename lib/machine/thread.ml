@@ -75,17 +75,13 @@ let travel_k ~net ~dst ~words ~kind ~recv_work c k =
 let travel ~net ~dst ~words ~kind ~recv_work c k =
   travel_k ~net ~dst ~words ~kind:(Network.kind net kind) ~recv_work c k
 
-let next_tid = ref 0
-
-let spawn ?tid ?rng ?(on_exit = fun _ -> ()) p body =
-  let thread_id =
-    match tid with
-    | Some id -> id
-    | None ->
-      let id = !next_tid in
-      incr next_tid;
-      id
-  in
+(* Tid assignment belongs to the machine instance (Machine.spawn numbers
+   threads from a per-machine counter): a process-global fallback here
+   used to bleed tids — and with them the default RNG seeds — from one
+   run into the next within a process, and would race across pool
+   domains.  Callers now always say which tid they mean. *)
+let spawn ~tid ?rng ?(on_exit = fun _ -> ()) p body =
+  let thread_id = tid in
   let stream = match rng with Some r -> r | None -> Rng.create ~seed:(thread_id + 1) in
   let c = { thread_id; location = p; stream } in
   let finish =

@@ -99,15 +99,20 @@ val travel_k :
 (** {1 Spawning} *)
 
 val spawn :
-  ?tid:int ->
+  tid:int ->
   ?rng:Rng.t ->
   ?on_exit:('a -> unit) ->
   Processor.t ->
   'a t ->
   unit
-(** [spawn proc body] creates a thread and queues it on [proc].  When
-    [body] finishes with value [v], [on_exit v] runs and the CPU is
-    released. *)
+(** [spawn ~tid proc body] creates thread [tid] and queues it on
+    [proc].  When [body] finishes with value [v], [on_exit v] runs and
+    the CPU is released.  [tid] is required: thread numbering is owned
+    by the machine instance ({!Machine.spawn} numbers from a
+    per-machine counter), never by process-global state, so tids — and
+    the default per-thread RNG seeds derived from them — restart at
+    every [Machine.create] and cannot bleed across runs or domains.
+    When [rng] is omitted the stream is seeded with [tid + 1]. *)
 
 (** {1 Combinators} *)
 

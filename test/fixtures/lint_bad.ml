@@ -37,3 +37,20 @@ let _allowed () = Hashtbl.iter ignore (Hashtbl.create 1) (* lint: allow hashtbl-
 let _allowed_poly xs = List.sort compare xs (* lint: allow poly-compare *)
 
 let _allowed_raw_send net d = Network.send net ~src:0 ~dst:1 ~words:8 ~kind:"x" d (* lint: allow raw-send *)
+
+(* Toplevel mutable state: every constructor form of global-state fires,
+   including behind a type constraint and inside a nested module. *)
+let _bad_global_counter = ref 0
+
+let _bad_global_table : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let _bad_global_flag = Atomic.make false
+
+module Bad_nested = struct
+  let _bad_nested_state = ref []
+end
+
+(* Function-local state is per-call and must NOT fire. *)
+let _ok_local_state () = ref 0
+
+let _allowed_global = Atomic.make 0 (* lint: allow global-state *)

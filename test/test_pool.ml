@@ -1,0 +1,152 @@
+(* The domain pool and the parallel sweep harness built on it.
+
+   The deterministic-output contract is the whole point: for any job
+   list, any domain count, and any completion order, [Pool.run_all]
+   returns results in submission order and the experiment layer prints
+   bytes identical to a sequential run.  The qcheck property at the
+   bottom checks that end-to-end (captured stdout + sanitizer digests of
+   real experiments at -j 2/4 vs. -j 1). *)
+
+open Cm_engine
+open Cm_experiments
+
+(* --- pool mechanics ----------------------------------------------- *)
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* Jobs finishing in scrambled order must not scramble results: each job
+   spins for a different amount of work (later submissions cheaper, so
+   they tend to finish first) and run_all must still return submission
+   order. *)
+let test_result_order () =
+  with_pool ~domains:3 (fun pool ->
+      let n = 24 in
+      let spin i =
+        let rounds = (n - i) * 2_000 in
+        let acc = ref 0 in
+        for k = 1 to rounds do
+          acc := (!acc * 7) + k
+        done;
+        ignore !acc;
+        i
+      in
+      let results = Pool.run_all pool (List.init n (fun i -> fun () -> spin i)) in
+      Alcotest.(check (list int)) "submission order" (List.init n Fun.id) results)
+
+let test_oversubscription () =
+  (* Far more jobs than domains: everything still completes, in order. *)
+  with_pool ~domains:2 (fun pool ->
+      let n = 200 in
+      let results = Pool.run_all pool (List.init n (fun i -> fun () -> i * i)) in
+      Alcotest.(check (list int)) "all jobs ran" (List.init n (fun i -> i * i)) results)
+
+let test_raising_job () =
+  with_pool ~domains:2 (fun pool ->
+      let boom = Pool.submit pool (fun () -> failwith "boom") in
+      let ok = Pool.submit pool (fun () -> 41 + 1) in
+      Alcotest.check_raises "exception propagates to await" (Failure "boom") (fun () ->
+          ignore (Pool.await boom : int));
+      (* The worker that ran the raising job must survive for later jobs. *)
+      Alcotest.(check int) "pool survives a raising job" 42 (Pool.await ok);
+      let again = Pool.submit pool (fun () -> "still alive") in
+      Alcotest.(check string) "submit after failure" "still alive" (Pool.await again))
+
+let test_shutdown () =
+  let pool = Pool.create ~domains:2 in
+  let tasks = List.init 8 (fun i -> Pool.submit pool (fun () -> i)) in
+  Pool.shutdown pool;
+  (* Shutdown drains the queue: every task submitted before it completes. *)
+  List.iteri
+    (fun i task -> Alcotest.(check int) "drained before join" i (Pool.await task))
+    tasks;
+  (* Idempotent, and submissions are refused afterwards. *)
+  Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown" (Invalid_argument "Pool.submit: pool is shut down")
+    (fun () -> ignore (Pool.submit pool (fun () -> ())))
+
+let test_create_validates () =
+  Alcotest.check_raises "zero domains" (Invalid_argument "Pool.create: need at least one domain")
+    (fun () -> ignore (Pool.create ~domains:0))
+
+(* --- end-to-end determinism of the parallel sweep harness ---------- *)
+
+(* Capture everything [f] prints to stdout (the experiments print
+   through the C stdout fd, so shadowing the OCaml channel is not
+   enough — redirect the fd itself, as bin/repro's selfcheck does). *)
+let with_captured_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file "cm_test_pool" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let result = try Ok (f ()) with e -> Error e in
+  flush stdout;
+  Unix.dup2 saved Unix.stdout;
+  Unix.close saved;
+  let ic = open_in_bin tmp in
+  let printed = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  match result with Ok () -> printed | Error e -> raise e
+
+(* The cheap experiments (quick mode keeps each under a second); the
+   pool must reproduce serial plans (fig1, table5) untouched and sweep
+   plans (the rest) byte-for-byte. *)
+let cheap_experiments = [ "fig1"; "table3"; "table4"; "fanout10"; "table5" ]
+
+let entry_of id =
+  match Registry.find id with
+  | Some e -> e
+  | None -> Alcotest.failf "unknown experiment %s" id
+
+(* One sanitized run of a set of experiments: returns (stdout bytes,
+   machine digests from the Check trail). *)
+let sanitized_runs ?pool ids =
+  Check.set_enabled true;
+  Check.reset ();
+  Check.Trail.set_recording true;
+  let printed =
+    with_captured_stdout (fun () ->
+        List.iter (fun id -> Registry.run ~quick:true ?pool (entry_of id)) ids)
+  in
+  let trail = Check.Trail.trail () in
+  Check.Trail.set_recording false;
+  Check.set_enabled false;
+  Check.reset ();
+  (printed, trail)
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"experiments at -j 2/4 are byte-identical to -j 1" ~count:3
+    QCheck.(pair (list_of_size Gen.(1 -- 3) (int_range 0 4)) (int_range 0 1))
+    (fun (picks, j_pick) ->
+      let ids = List.map (fun i -> List.nth cheap_experiments i) picks in
+      let domains = if j_pick = 0 then 2 else 4 in
+      let base_out, base_trail = sanitized_runs ids in
+      let par_out, par_trail =
+        with_pool ~domains (fun pool -> sanitized_runs ~pool ids)
+      in
+      if not (String.equal base_out par_out) then
+        QCheck.Test.fail_reportf "stdout differs at -j %d for %s" domains
+          (String.concat "," ids);
+      if base_trail <> par_trail then
+        QCheck.Test.fail_reportf "machine digests differ at -j %d for %s (%d vs %d runs)"
+          domains (String.concat "," ids) (List.length base_trail) (List.length par_trail);
+      true)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "results in submission order" `Quick test_result_order;
+          Alcotest.test_case "oversubscription" `Quick test_oversubscription;
+          Alcotest.test_case "raising job propagates, pool survives" `Quick test_raising_job;
+          Alcotest.test_case "shutdown drains, then refuses" `Quick test_shutdown;
+          Alcotest.test_case "create validates domain count" `Quick test_create_validates;
+        ] );
+      ( "determinism",
+        List.map QCheck_alcotest.to_alcotest [ prop_parallel_matches_sequential ] );
+    ]
