@@ -17,7 +17,7 @@
    Usage:
      dune exec bench/main.exe               reproduction rows + bechamel
      dune exec bench/main.exe -- rows       reproduction rows only
-     dune exec bench/main.exe -- bench [f]  bechamel + JSON (default BENCH_pr2.json)
+     dune exec bench/main.exe -- bench [f]  bechamel + JSON (default BENCH_pr5.json)
      dune exec bench/main.exe -- quick      reduced-horizon rows + bechamel
      dune exec bench/main.exe -- smoke [f]  fast bechamel pass for CI
                                             (default BENCH_smoke.json)
@@ -154,7 +154,24 @@ type result = {
   ns_per_run : float option;
   sim_cycles : int option;
   events_fired : int option;
+  minor_words_per_run : float;
+  major_words_per_run : float;
 }
+
+(* GC cost of one run, measured directly (not via Bechamel's allocation
+   instances, whose per-sample clamping rounds small figures away): one
+   warm run, then quick_stat deltas around a second.  Minor words are the
+   headline number the pooled-event work drives down; promoted words are
+   subtracted from the major figure so it counts only direct major-heap
+   allocation. *)
+let alloc_of_run thunk =
+  thunk ();
+  let before = Gc.quick_stat () in
+  thunk ();
+  let after = Gc.quick_stat () in
+  ( after.Gc.minor_words -. before.Gc.minor_words,
+    after.Gc.major_words -. before.Gc.major_words
+    -. (after.Gc.promoted_words -. before.Gc.promoted_words) )
 
 let measure ~quota ~limit spec =
   let open Bechamel in
@@ -179,6 +196,7 @@ let measure ~quota ~limit spec =
       ( Some (Cm_machine.Machine.now machine),
         Some (Cm_engine.Sim.events_fired machine.Cm_machine.Machine.sim) )
   in
+  let minor_words_per_run, major_words_per_run = alloc_of_run spec.thunk in
   (match !estimate with
   | Some est ->
     let throughput =
@@ -187,9 +205,17 @@ let measure ~quota ~limit spec =
         Printf.sprintf "  %10.2e simcyc/s" (float_of_int cycles /. (est *. 1e-9))
       | _ -> ""
     in
-    Printf.printf "%-28s %12.0f ns/run%s\n%!" spec.name est throughput
+    Printf.printf "%-28s %12.0f ns/run%s  %10.2e minor-w/run\n%!" spec.name est throughput
+      minor_words_per_run
   | None -> Printf.printf "%-28s (no estimate)\n%!" spec.name);
-  { r_name = spec.name; ns_per_run = !estimate; sim_cycles; events_fired }
+  {
+    r_name = spec.name;
+    ns_per_run = !estimate;
+    sim_cycles;
+    events_fired;
+    minor_words_per_run;
+    major_words_per_run;
+  }
 
 let result_fields r =
   let opt f = function None -> [] | Some v -> [ f v ] in
@@ -206,6 +232,10 @@ let result_fields r =
   @ opt (json_float "ns_per_run") r.ns_per_run
   @ opt (json_int "sim_cycles") r.sim_cycles
   @ opt (json_int "events_fired") r.events_fired
+  @ [
+      json_float "minor_words_per_run" r.minor_words_per_run;
+      json_float "major_words_per_run" r.major_words_per_run;
+    ]
   @ derived
 
 let run_bechamel ?only ~mode ~quota ~limit ~full ~json () =
@@ -254,7 +284,13 @@ let timed_run ?pool entry =
   (Unix.gettimeofday () -. t0) *. 1e3
 
 let run_sweep ~jobs ~json () =
+  let cores = Domain.recommended_domain_count () in
   Printf.printf "\n=== Sweep wall-clock: -j 1 vs -j %d (full fig2 + table1) ===\n%!" jobs;
+  if jobs > cores then
+    Printf.printf
+      "note: %d core(s) available for %d domains — the -j %d run time-shares one CPU,\n\
+       so speedups below 1.0x measure domain overhead, not the parallel harness.\n%!"
+      cores jobs jobs;
   let entries =
     List.map
       (fun id ->
@@ -279,6 +315,7 @@ let run_sweep ~jobs ~json () =
         [
           json_str "name" entry.Registry.id;
           json_int "jobs" jobs;
+          json_int "cores" cores;
           json_float "j1_ms" j1_ms;
           json_float "jn_ms" jn_ms;
           json_float "speedup" speedup;
@@ -299,7 +336,7 @@ let () =
   | "rows" -> ()
   | "bench" ->
     run_bechamel ~mode ~quota:3.0 ~limit:500 ~full:true
-      ~json:(Some (json_arg "BENCH_pr2.json"))
+      ~json:(Some (json_arg "BENCH_pr5.json"))
       ()
   | "smoke" ->
     (* Fast pass for CI: enough to catch gross hot-path regressions and

@@ -1,4 +1,7 @@
-let find_child_index ~keys ~nkeys ~key =
+(* [key]/[keys] are annotated so the comparisons below compile to direct
+   int compares, not the polymorphic [compare_val] runtime — this search
+   runs once per probe of every simulated descent. *)
+let find_child_index ~keys ~nkeys ~key:(key : int) =
   if nkeys = 0 || key > keys.(nkeys - 1) then
     invalid_arg "Btree_node.find_child_index: key above high key";
   (* Smallest i with key <= keys.(i). *)
@@ -13,7 +16,7 @@ let probes ~nkeys =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
   go 1 (max 1 nkeys)
 
-let insertion_point ~keys ~nkeys ~key =
+let insertion_point ~keys ~nkeys ~key:(key : int) =
   let lo = ref 0 and hi = ref nkeys in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in

@@ -12,9 +12,14 @@ type t = {
   mutable transport_ : Transport.t option;
 }
 
-let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ~n_procs ~costs () =
+let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ?(wheel_bits = 12) ~n_procs
+    ~costs () =
   if n_procs <= 0 then invalid_arg "Machine.create: n_procs must be positive";
-  let sim = Sim.create () in
+  (* Contended multi-hop sends routinely exceed the 256-cycle default wheel,
+     spilling onto the overflow heap; 4096 one-cycle buckets keep nearly every
+     machine event on the O(1) direct path.  Extraction order (and hence every
+     digest) is wheel-size-invariant. *)
+  let sim = Sim.create ~wheel_bits () in
   let stats = Stats.create () in
   let topo =
     match topology with

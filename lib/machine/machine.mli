@@ -23,6 +23,7 @@ val create :
   ?seed:int ->
   ?topology:[ `Mesh | `Torus | `Crossbar ] ->
   ?net_contention:bool ->
+  ?wheel_bits:int ->
   n_procs:int ->
   costs:Costs.t ->
   unit ->
@@ -31,7 +32,10 @@ val create :
     mesh (by default), with a fresh clock and statistics registry.
     [seed] (default 42) fixes every random choice made under this
     machine.  [net_contention] (default off) enables the link-occupancy
-    network model (see {!Network.create}). *)
+    network model (see {!Network.create}).  [wheel_bits] (default 12)
+    sizes the scheduler's calendar wheel (see {!Sim.create}); it affects
+    performance only — extraction order, and therefore every statistic
+    and digest, is identical at any size. *)
 
 val n_procs : t -> int
 (** Number of processors. *)

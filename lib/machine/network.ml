@@ -18,6 +18,13 @@ type t = {
   contention : bool;
   link_bandwidth : int;  (* words per cycle per link *)
   links : int array;  (* directed link src*size+dst -> free-at time; empty unless contention *)
+  (* [net_base + net_per_hop * hops src dst], src*size+dst indexed: the
+     size-independent part of every uncontended latency, precomputed so
+     the per-message path is one load and one multiply — no coordinate
+     math or route allocation.  Empty when contention is on (the
+     store-and-forward model walks the route anyway) or the machine is
+     too large for a dense table. *)
+  fixed_latency : int array;
   kinds : (string, kind) Hashtbl.t;
   words_c : Stats.counter;
   messages_c : Stats.counter;
@@ -42,6 +49,12 @@ let create ?(contention = false) ?(link_bandwidth = 1) ~sim ~topo ~costs ~stats 
        polymorphic hashing per routed hop.  Only the contention model
        reads them, so the array is elided otherwise. *)
     links = (if contention then Array.make (size * size) 0 else [||]);
+    fixed_latency =
+      (if contention || size * size > 1 lsl 20 then [||]
+       else
+         Array.init (size * size) (fun i ->
+             let src = i / size and dst = i mod size in
+             costs.Costs.net_base + (costs.Costs.net_per_hop * Topology.hops topo ~src ~dst)));
     kinds = Hashtbl.create 16;
     words_c = Stats.counter stats "net.words";
     messages_c = Stats.counter stats "net.messages";
@@ -86,13 +99,21 @@ let contended_latency t ~src ~dst ~wire_words =
   end
   else 1
 
-let send_k t ~src ~dst ~words ~kind deliver =
+(* Latency assignment plus all traffic accounting for one message —
+   everything a send does except scheduling the delivery, shared by the
+   closure ({!send_k}) and pooled-handler ({!post_k}) entry points. *)
+let accounted_latency t ~src ~dst ~words ~kind =
   if words < 0 then invalid_arg "Network.send: negative size";
-  let hops = Topology.hops t.topo ~src ~dst in
   let wire_words = words + t.costs.Costs.header_words in
   let latency =
     if t.contention then contended_latency t ~src ~dst ~wire_words
-    else Costs.transit t.costs ~hops ~words
+    else if t.fixed_latency != [||] then begin
+      if src < 0 || src >= t.size || dst < 0 || dst >= t.size then
+        (* Raises the same out-of-range diagnostic as the direct path. *)
+        ignore (Topology.hops t.topo ~src ~dst : int);
+      t.fixed_latency.((src * t.size) + dst) + (t.costs.Costs.net_per_word * wire_words)
+    end
+    else Costs.transit t.costs ~hops:(Topology.hops t.topo ~src ~dst) ~words
   in
   t.words <- t.words + wire_words;
   t.messages <- t.messages + 1;
@@ -102,8 +123,19 @@ let send_k t ~src ~dst ~words ~kind deliver =
   Stats.Counter.incr kind.k_messages;
   if Trace.enabled Trace.Events then
     Trace.eventf ~time:(Sim.now t.sim) "net: %s %d->%d %dw (%d hops, %d cyc)" kind.k_name src
-      dst wire_words hops latency;
+      dst wire_words
+      (Topology.hops t.topo ~src ~dst)
+      latency;
+  latency
+
+let send_k t ~src ~dst ~words ~kind deliver =
+  let latency = accounted_latency t ~src ~dst ~words ~kind in
   Sim.after t.sim latency deliver;
+  latency
+
+let post_k t ~src ~dst ~words ~kind ~hid ~arg =
+  let latency = accounted_latency t ~src ~dst ~words ~kind in
+  Sim.post_after t.sim ~delay:latency hid arg;
   latency
 
 let send t ~src ~dst ~words ~kind:name deliver = send_k t ~src ~dst ~words ~kind:(kind t name) deliver
@@ -112,9 +144,12 @@ let total_words t = t.words
 
 let total_messages t = t.messages
 
-let words_of_kind t kind = Stats.get t.stats ("net.words." ^ kind)
+(* Per-kind queries go through the interned kind record: no string
+   rebuild or registry hash per call, and a never-sent kind still reads
+   0 (handles bind lazily). *)
+let words_of_kind t name = Stats.Counter.get (kind t name).k_words
 
-let messages_of_kind t kind = Stats.get t.stats ("net.messages." ^ kind)
+let messages_of_kind t name = Stats.Counter.get (kind t name).k_messages
 
 let bandwidth_per_10_cycles t ~now =
   if now = 0 then 0. else 10. *. float_of_int t.words /. float_of_int now

@@ -67,6 +67,15 @@ val send_k :
   t -> src:int -> dst:int -> words:int -> kind:kind -> (unit -> unit) -> int
 (** [send_k] is {!send} with a pre-interned kind. *)
 
+val post_k :
+  t -> src:int -> dst:int -> words:int -> kind:kind -> hid:Sim.hid -> arg:int -> int
+(** [post_k] is {!send_k} with the delivery routed through a handler
+    pre-registered with the simulator ({!Sim.handler}) instead of a
+    closure: accounting and latency are identical, but the send allocates
+    nothing — the event record is pooled and the handler receives [arg]
+    (conventionally the destination processor).  The zero-allocation path
+    for per-message hot senders such as the coherence controllers. *)
+
 val total_words : t -> int
 (** [total_words t] is the number of words (payload + headers) injected so
     far. *)

@@ -1,25 +1,62 @@
 open Cm_engine
 
+(* The ready queue is a power-of-two ring buffer rather than a [Queue.t]:
+   enqueue/dequeue are array stores with no per-task cell (or [take_opt]
+   option) allocation — every thread yield, sleep, wakeup, and message
+   dispatch goes through here. *)
+
 type t = {
   id : int;
   sim : Sim.t;
   dispatches : Stats.counter;  (* lazily bound — registered on first dispatch *)
   scheduler_cost : int;
-  runq : (unit -> unit) Queue.t;
+  hid : Sim.hid;  (* pooled dispatch handler: pops and runs the ring head *)
+  mutable ring : (unit -> unit) array;
+  mutable head : int;  (* index of the next task to dispatch *)
+  mutable len : int;
   mutable busy : bool;
   mutable busy_cycles : int;
 }
 
+let nop () = ()
+
+(* Run the task at the head of the ready ring.  The pop happens here, at
+   the dispatch event's fire time, not when the dispatch is scheduled:
+   the busy flag guarantees at most one dispatch event is in flight per
+   processor, enqueues only ever append, and nothing else dequeues — so
+   the head task is the same either way, and leaving it in the ring
+   means the dispatch event itself carries no closure (see [dispatch]). *)
+let run_head p =
+  let task = p.ring.(p.head) in
+  p.ring.(p.head) <- nop;
+  p.head <- (p.head + 1) land (Array.length p.ring - 1);
+  p.len <- p.len - 1;
+  task ()
+
 let create ~sim ~stats ~scheduler_cost ~id =
-  {
-    id;
-    sim;
-    dispatches = Stats.counter stats "proc.dispatches";
-    scheduler_cost;
-    runq = Queue.create ();
-    busy = false;
-    busy_cycles = 0;
-  }
+  (* The dispatch handler closes over the processor record, which itself
+     holds the handler id; tie the knot through a cell. *)
+  let self = ref None in
+  let hid =
+    Sim.handler sim (fun _ ->
+        match !self with Some p -> run_head p | None -> assert false)
+  in
+  let p =
+    {
+      id;
+      sim;
+      dispatches = Stats.counter stats "proc.dispatches";
+      scheduler_cost;
+      hid;
+      ring = Array.make 8 nop;
+      head = 0;
+      len = 0;
+      busy = false;
+      busy_cycles = 0;
+    }
+  in
+  self := Some p;
+  p
 
 let id p = p.id
 
@@ -27,7 +64,7 @@ let sim p = p.sim
 
 let is_busy p = p.busy
 
-let queue_length p = Queue.length p.runq
+let queue_length p = p.len
 
 let busy_cycles p = p.busy_cycles
 
@@ -44,23 +81,36 @@ let charge p n =
   if n < 0 then invalid_arg "Processor.charge: negative duration";
   p.busy_cycles <- p.busy_cycles + n
 
+let grow p =
+  let cap = Array.length p.ring in
+  let ring = Array.make (2 * cap) nop in
+  for i = 0 to p.len - 1 do
+    ring.(i) <- p.ring.((p.head + i) land (cap - 1))
+  done;
+  p.ring <- ring;
+  p.head <- 0
+
 (* Dispatch the next ready task, charging the scheduler cost.  The task
    runs synchronously at the end of the dispatch delay; it is expected to
-   schedule its own continuation chain and ultimately call [release]. *)
-let rec dispatch p =
-  match Queue.take_opt p.runq with
-  | None -> ()
-  | Some task ->
+   schedule its own continuation chain and ultimately call [release].
+   The dispatch event is a pooled handler occurrence — the task stays in
+   the ring until it fires ([run_head]), so dispatching stores no
+   closure into the event queue. *)
+let dispatch p =
+  if p.len > 0 then begin
     p.busy <- true;
     Stats.Counter.incr p.dispatches;
     p.busy_cycles <- p.busy_cycles + p.scheduler_cost;
-    Sim.after p.sim p.scheduler_cost task
+    Sim.post_after p.sim ~delay:p.scheduler_cost p.hid 0
+  end
 
-and release p =
+let release p =
   assert (p.busy);
   p.busy <- false;
   dispatch p
 
 let enqueue p task =
-  Queue.add task p.runq;
+  if p.len = Array.length p.ring then grow p;
+  p.ring.((p.head + p.len) land (Array.length p.ring - 1)) <- task;
+  p.len <- p.len + 1;
   if not p.busy then dispatch p

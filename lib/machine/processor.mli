@@ -8,7 +8,10 @@
 
     Resource contention — e.g. activations piling up at the B-tree root's
     processor — emerges from this queueing, which is the effect the paper's
-    Section 4.2 analyses. *)
+    Section 4.2 analyses.
+
+    The ready queue is a ring buffer and dispatch events are pooled by the
+    simulator, so the enqueue/dispatch/release cycle allocates nothing. *)
 
 open Cm_engine
 

@@ -28,12 +28,12 @@ let compute n c k = Processor.hold c.location n k
 
 let yield c k =
   let p = c.location in
-  Processor.enqueue p (fun () -> k ());
+  Processor.enqueue p k;
   Processor.release p
 
 let sleep n c k =
   let p = c.location in
-  Sim.after (Processor.sim p) n (fun () -> Processor.enqueue p (fun () -> k ()));
+  Sim.after (Processor.sim p) n (fun () -> Processor.enqueue p k);
   Processor.release p
 
 (* Sanitizer shim: when [Check] is on, wrap a resumption in a one-shot

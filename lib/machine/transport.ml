@@ -27,6 +27,10 @@ type 'a kind = {
   recv : recv;
   handlers : ('a -> unit Thread.t) option array;  (* one endpoint slot per processor *)
   ep_delivered : int array;
+  (* Pooled delivery handler (arg = destination processor): bumps the
+     delivery counters without a per-message closure, the arrival path
+     of payload-free injections. *)
+  arrive_hid : Sim.hid;
   (* Cached fault spec, invalidated by generation when the fault
      configuration changes. *)
   mutable f_gen : int;
@@ -45,6 +49,10 @@ type t = {
   mutable fault_specs : (string * fault) list;
   mutable fault_gen : int;
   mutable frng : Rng.t;
+  (* Timers of fault-delayed deliveries still pending, newest first,
+     with the owning kind's dropped counter (a cancelled delivery counts
+     as dropped so the in-flight accounting stays closed). *)
+  mutable delay_timers : (Sim.token * Stats.counter) list;
 }
 
 let create ~sim ~costs ~net ~procs ~spawn =
@@ -60,6 +68,7 @@ let create ~sim ~costs ~net ~procs ~spawn =
     fault_specs = [];
     fault_gen = 0;
     frng = Rng.create ~seed:0;
+    delay_timers = [];
   }
 
 let intern_ctrs t name =
@@ -75,12 +84,22 @@ let intern_ctrs t name =
   }
 
 let kind t ?(recv = Recv_pipeline) name =
+  let ctrs = intern_ctrs t name in
+  let ep_delivered = Array.make t.n_procs 0 in
+  (* Registered once per declaration: every payload-free arrival of this
+     kind reuses it, so the steady-state inject path never allocates. *)
+  let arrive_hid =
+    Sim.handler t.sim (fun dst ->
+        Stats.Counter.incr ctrs.delivered_c;
+        ep_delivered.(dst) <- ep_delivered.(dst) + 1)
+  in
   {
-    ctrs = intern_ctrs t name;
+    ctrs;
     net_k = Network.kind t.net name;
     recv;
     handlers = Array.make t.n_procs None;
-    ep_delivered = Array.make t.n_procs 0;
+    ep_delivered;
+    arrive_hid;
     f_gen = -1;
     f_spec = None;
   }
@@ -160,7 +179,13 @@ let transmit t (k : _ kind) ~src ~dst ~words deliver =
           if fault_hits t f.delay then begin
             Stats.Counter.incr k.ctrs.delayed_c;
             let extra = f.delay_cycles in
-            fun () -> Sim.after t.sim extra arrive
+            let dropped_c = k.ctrs.dropped_c in
+            (* The extra delay leg is a cancellable timer, so timeout and
+               retry logic (and tests) can revoke a delivery that is
+               still stuck in the delay stage. *)
+            fun () ->
+              let tok = Sim.timer t.sim ~delay:extra arrive in
+              t.delay_timers <- (tok, dropped_c) :: t.delay_timers
           end
           else arrive
         in
@@ -197,7 +222,32 @@ let signal t k ~src ~dst ~words deliver =
   let (_ : int) = transmit t k ~src ~dst ~words deliver in
   ()
 
-let inject t k ~src ~dst ~words = transmit t k ~src ~dst ~words ignore
+(* Payload-free injection is the per-message hot path of the coherence
+   controllers (several messages per miss): with faults off it posts the
+   kind's pooled arrival handler straight through the network — no
+   arrival closure, no event allocation. *)
+let inject t k ~src ~dst ~words =
+  if not t.faults_on then begin
+    Stats.Counter.incr k.ctrs.posted_c;
+    Network.post_k t.net ~src ~dst ~words ~kind:k.net_k ~hid:k.arrive_hid ~arg:dst
+  end
+  else transmit t k ~src ~dst ~words ignore
+
+let cancel_pending_delays t =
+  let cancelled =
+    List.fold_left
+      (fun acc (tok, dropped_c) ->
+        if Sim.cancel t.sim tok then begin
+          (* The delivery will never happen: account it as dropped so
+             [inflight]/[check_all_delivered] stay closed. *)
+          Stats.Counter.incr dropped_c;
+          acc + 1
+        end
+        else acc)
+      0 t.delay_timers
+  in
+  t.delay_timers <- [];
+  cancelled
 
 (* ------------------------------------------------------------------ *)
 (* Monadic senders                                                    *)

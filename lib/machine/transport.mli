@@ -183,6 +183,14 @@ val clear_faults : t -> unit
 
 val faults_active : t -> bool
 
+val cancel_pending_delays : t -> int
+(** [cancel_pending_delays t] revokes every fault-delayed delivery that
+    is still waiting out its extra delay (the delay leg is a cancellable
+    {!Sim.timer}) and returns how many were cancelled.  Each cancelled
+    delivery is accounted as dropped, keeping {!inflight} and
+    {!check_all_delivered} consistent — the hook timeout/retry logic
+    builds on. *)
+
 (** {1 Delivery accounting}
 
     Counters live in a transport-owned {!Stats.t} registry under

@@ -264,6 +264,100 @@ let test_sim_stop () =
   Sim.run sim;
   Alcotest.(check int) "stopped early" 1 !count
 
+let test_sim_timer_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let tok = Sim.timer sim ~delay:30 (fun () -> fired := true) in
+  Sim.at sim 20 ignore;
+  Alcotest.(check int) "pending counts timer" 2 (Sim.pending sim);
+  Alcotest.(check bool) "cancel pending" true (Sim.cancel sim tok);
+  Alcotest.(check bool) "cancel is one-shot" false (Sim.cancel sim tok);
+  Alcotest.(check int) "pending drops" 1 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled timer did not fire" false !fired;
+  Alcotest.(check int) "cancelled not counted" 1 (Sim.events_fired sim);
+  Alcotest.(check int) "clock not advanced by cancelled event" 20 (Sim.now sim)
+
+let test_sim_timer_fires () =
+  let sim = Sim.create () in
+  let fired_at = ref (-1) in
+  let tok = Sim.timer sim ~delay:7 (fun () -> fired_at := Sim.now sim) in
+  Sim.run sim;
+  Alcotest.(check int) "timer fired on time" 7 !fired_at;
+  Alcotest.(check bool) "cancel after fire is false" false (Sim.cancel sim tok)
+
+let test_sim_cancel_stale_token () =
+  let sim = Sim.create () in
+  let tok1 = Sim.timer sim ~delay:1 ignore in
+  Sim.run sim;
+  Alcotest.(check bool) "fired token dead" false (Sim.cancel sim tok1);
+  (* The fired event's pool slot is recycled for the next timer; the
+     stale token's generation no longer matches, so it must not cancel
+     the new occupant. *)
+  let fired = ref false in
+  let _tok2 = Sim.timer sim ~delay:1 (fun () -> fired := true) in
+  Alcotest.(check bool) "stale token still dead" false (Sim.cancel sim tok1);
+  Sim.run sim;
+  Alcotest.(check bool) "new timer unaffected by stale cancel" true !fired
+
+let test_sim_post_handler () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let hid = Sim.handler sim (fun arg -> log := (Sim.now sim, arg) :: !log) in
+  Sim.post sim ~time:5 hid 42;
+  Sim.post_after sim ~delay:2 hid 7;
+  Sim.after sim 3 (fun () -> log := (Sim.now sim, -1) :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair int int)))
+    "posts interleave with closure events"
+    [ (2, 7); (3, -1); (5, 42) ]
+    (List.rev !log)
+
+let test_sim_post_unregistered () =
+  let sim = Sim.create () in
+  let other = Sim.create () in
+  let hid = Sim.handler other (fun _ -> ()) in
+  Alcotest.check_raises "foreign handler"
+    (Invalid_argument "Sim.post: handler not registered here") (fun () ->
+      Sim.post sim ~time:1 hid 0)
+
+let test_sim_until_rejects_past () =
+  let sim = Sim.create () in
+  Sim.at sim 100 ignore;
+  Sim.run ~until:55 sim;
+  Alcotest.(check int) "clock exactly at horizon" 55 (Sim.now sim);
+  Alcotest.(check int) "pending intact" 1 (Sim.pending sim);
+  (* After a horizon stop the clock has really moved: pre-horizon times
+     are the past now. *)
+  Alcotest.check_raises "pre-horizon schedule rejected"
+    (Invalid_argument "Sim.at: time 54 is before now (55)") (fun () -> Sim.at sim 54 ignore);
+  (* Scheduling exactly at the horizon is allowed. *)
+  Sim.at sim 55 ignore;
+  Sim.run sim;
+  Alcotest.(check int) "resumes to completion" 100 (Sim.now sim)
+
+let test_sim_far_future () =
+  (* A 4-bucket wheel: the far event lives in the overflow rung through
+     many full rotations before migrating into a bucket. *)
+  let sim = Sim.create ~wheel_bits:2 () in
+  let log = ref [] in
+  List.iter (fun t -> Sim.at sim t (fun () -> log := t :: !log)) [ 100_000; 3; 40 ];
+  Sim.run sim;
+  Alcotest.(check (list int)) "overflow drains in order" [ 3; 40; 100_000 ] (List.rev !log);
+  Alcotest.(check int) "clock at far event" 100_000 (Sim.now sim)
+
+let test_sim_wheel_bits_validated () =
+  let reject bits =
+    Alcotest.check_raises
+      (Printf.sprintf "wheel_bits %d" bits)
+      (Invalid_argument "Sim.create: wheel_bits out of range [1,22]")
+      (fun () -> ignore (Sim.create ~wheel_bits:bits ()))
+  in
+  reject 0;
+  reject 23;
+  ignore (Sim.create ~wheel_bits:1 ());
+  ignore (Sim.create ~wheel_bits:22 ())
+
 let test_sim_step () =
   let sim = Sim.create () in
   let count = ref 0 in
@@ -285,6 +379,147 @@ let prop_sim_fires_in_order =
       Sim.run sim;
       let fired = List.rev !fired in
       fired = List.sort compare times)
+
+(* --- calendar queue vs. binary-heap oracle -------------------------- *)
+
+(* Reference scheduler with the same (time, seq) contract, built on the
+   generic Heap — the structure the old Sim used.  The property below
+   drives identical schedules through both and demands identical firing
+   orders, which is exactly the digest-preservation argument for the
+   calendar queue (DESIGN.md §13). *)
+module Oracle = struct
+  type t = {
+    h : (int * int * int) Heap.t;  (* time, seq, id *)
+    mutable clock : int;
+    mutable seq : int;
+  }
+
+  let create () = { h = Heap.create ~cmp:compare; clock = 0; seq = 0 }
+
+  let at o time id =
+    Heap.push o.h (time, o.seq, id);
+    o.seq <- o.seq + 1
+
+  let run o fire =
+    let rec go () =
+      match Heap.pop o.h with
+      | None -> ()
+      | Some (time, _, id) ->
+        o.clock <- time;
+        fire id;
+        go ()
+    in
+    go ()
+end
+
+(* A script is a list of top-level events (absolute time, child delays);
+   each event, when it fires, schedules its children relative to its own
+   fire time.  Ids are assigned positionally so both sides agree on them
+   without reference to execution order. *)
+let assign_ids script =
+  let n_top = List.length script in
+  let next = ref n_top in
+  let items =
+    List.map
+      (fun (time, kids) ->
+        ( time,
+          List.map
+            (fun d ->
+              let id = !next in
+              incr next;
+              (id, d))
+            kids ))
+      script
+  in
+  let kids_of = Array.make (max 1 !next) [] in
+  List.iteri (fun i (_, kids) -> kids_of.(i) <- kids) items;
+  (items, kids_of)
+
+(* Run a script through the real simulator.  Events alternate between
+   the closure API ([at]/[after]) and the pooled-handler API
+   ([post]/[post_after]) by id parity, so the property also checks that
+   the two kinds interleave in one (time, seq) order.  A small wheel
+   forces overflow spills and many rotations. *)
+let run_real ~wheel_bits script =
+  let items, kids_of = assign_ids script in
+  let sim = Sim.create ~wheel_bits () in
+  let log = ref [] in
+  let hid_cell = ref None in
+  let rec fire id =
+    log := (Sim.now sim, id) :: !log;
+    List.iter
+      (fun (cid, d) ->
+        if cid mod 2 = 0 then Sim.after sim d (fun () -> fire cid)
+        else
+          match !hid_cell with
+          | Some h -> Sim.post_after sim ~delay:d h cid
+          | None -> assert false)
+      kids_of.(id)
+  in
+  hid_cell := Some (Sim.handler sim fire);
+  List.iteri
+    (fun i (time, _) ->
+      if i mod 2 = 0 then Sim.at sim time (fun () -> fire i)
+      else
+        match !hid_cell with
+        | Some h -> Sim.post sim ~time h i
+        | None -> assert false)
+    items;
+  Sim.run sim;
+  List.rev !log
+
+let run_oracle script =
+  let items, kids_of = assign_ids script in
+  let o = Oracle.create () in
+  let log = ref [] in
+  let fire id =
+    log := (o.Oracle.clock, id) :: !log;
+    List.iter (fun (cid, d) -> Oracle.at o (o.Oracle.clock + d) cid) kids_of.(id)
+  in
+  List.iteri (fun i (time, _) -> Oracle.at o time i) items;
+  Oracle.run o fire;
+  List.rev !log
+
+let script_gen =
+  (* Times within a few wheel revolutions of a 4..16-bucket wheel; child
+     delays reaching far past the window so events spill to the overflow
+     rung and migrate back as the wheel rotates. *)
+  QCheck.(
+    list_of_size
+      Gen.(1 -- 30)
+      (pair (int_range 0 50) (small_list (int_range 0 300))))
+
+let prop_sim_matches_heap_oracle =
+  QCheck.Test.make ~name:"calendar queue = binary-heap oracle" ~count:300 script_gen
+    (fun script ->
+      let expect = run_oracle script in
+      run_real ~wheel_bits:2 script = expect && run_real ~wheel_bits:4 script = expect)
+
+let prop_sim_cancel_subset =
+  QCheck.Test.make ~name:"cancel removes exactly the cancelled timers" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (int_range 0 200) bool))
+    (fun spec ->
+      let sim = Sim.create ~wheel_bits:3 () in
+      let fired = ref [] in
+      let toks =
+        List.mapi (fun i (d, _) -> Sim.timer sim ~delay:d (fun () -> fired := i :: !fired)) spec
+      in
+      (* Cancelling a pending timer reports true exactly once. *)
+      let cancelled_ok =
+        List.for_all2 (fun tok (_, c) -> (not c) || Sim.cancel sim tok) toks spec
+      in
+      let expect =
+        spec
+        |> List.mapi (fun i (d, c) -> (d, i, c))
+        |> List.filter (fun (_, _, c) -> not c)
+        |> List.map (fun (d, i, _) -> (d, i))
+        |> List.sort compare
+        |> List.map snd
+      in
+      Sim.run sim;
+      (* Every token is dead after the run, cancelled or fired. *)
+      let all_dead = List.for_all (fun tok -> not (Sim.cancel sim tok)) toks in
+      cancelled_ok && all_dead && List.rev !fired = expect)
 
 
 (* ------------------------------------------------------------------ *)
@@ -469,8 +704,17 @@ let () =
           Alcotest.test_case "after relative" `Quick test_sim_after_relative;
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
           Alcotest.test_case "until horizon" `Quick test_sim_until;
+          Alcotest.test_case "until rejects past" `Quick test_sim_until_rejects_past;
           Alcotest.test_case "stop" `Quick test_sim_stop;
           Alcotest.test_case "step" `Quick test_sim_step;
+          Alcotest.test_case "timer cancel" `Quick test_sim_timer_cancel;
+          Alcotest.test_case "timer fires" `Quick test_sim_timer_fires;
+          Alcotest.test_case "stale token" `Quick test_sim_cancel_stale_token;
+          Alcotest.test_case "post handler" `Quick test_sim_post_handler;
+          Alcotest.test_case "post unregistered" `Quick test_sim_post_unregistered;
+          Alcotest.test_case "far future" `Quick test_sim_far_future;
+          Alcotest.test_case "wheel bits validated" `Quick test_sim_wheel_bits_validated;
         ]
-        @ qsuite [ prop_sim_fires_in_order ] );
+        @ qsuite
+            [ prop_sim_fires_in_order; prop_sim_matches_heap_oracle; prop_sim_cancel_subset ] );
     ]

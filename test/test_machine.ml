@@ -216,6 +216,50 @@ let test_network_contention_disjoint_paths_parallel () =
   Sim.run sim;
   Alcotest.(check int) "same arrival" !t1 !t2
 
+let test_network_contention_back_to_back_exact () =
+  let sim = Sim.create () in
+  let stats = Stats.create () in
+  let net =
+    Network.create ~contention:true ~sim ~topo:(Topology.mesh 4) ~costs:Costs.software ~stats ()
+  in
+  (* Two messages share the single 0->1 link.  Store-and-forward with
+     link_bandwidth 1 word/cycle: each occupies the link for
+     wire_words = 40 + 2 header = 42 cycles.  First: starts after
+     net_base = 5, frees the link at 47, arrives at 47 + net_per_hop =
+     48.  The second queues behind it — link start at 47, free at 89,
+     arrival 90 — exactly one occupancy after the first. *)
+  let t1 = ref 0 and t2 = ref 0 in
+  let l1 = Network.send net ~src:0 ~dst:1 ~words:40 ~kind:"a" (fun () -> t1 := Sim.now sim) in
+  let l2 = Network.send net ~src:0 ~dst:1 ~words:40 ~kind:"b" (fun () -> t2 := Sim.now sim) in
+  Alcotest.(check int) "first latency" 48 l1;
+  Alcotest.(check int) "second latency queues one occupancy" 90 l2;
+  Sim.run sim;
+  Alcotest.(check int) "first arrival" 48 !t1;
+  Alcotest.(check int) "second arrival back-to-back" (48 + 42) !t2;
+  (* The counter accumulates each contended message's full assigned
+     latency: 48 + 90. *)
+  Alcotest.(check int) "contended cycles hand-computed" 138
+    (Stats.get stats "net.contended_cycles")
+
+let test_network_contention_multihop_exact () =
+  let sim = Sim.create () in
+  let stats = Stats.create () in
+  let net =
+    Network.create ~contention:true ~sim ~topo:(Topology.mesh 16) ~costs:Costs.software ~stats ()
+  in
+  (* On the 4x4 mesh, 0->2 is two links, (0,1) then (1,2); wire = 10 + 2 = 12 words.
+     First message: (0,1) busy [5,17), (1,2) busy [18,30), arrival
+     30 + 1 = 31 = net_base + 2*occupancy + 2*net_per_hop.  Second:
+     queues on (0,1) [17,29); reaches (1,2) at 30 just as the first
+     frees it, busy [30,42), arrival 43. *)
+  let l1 = Network.send net ~src:0 ~dst:2 ~words:10 ~kind:"a" ignore in
+  let l2 = Network.send net ~src:0 ~dst:2 ~words:10 ~kind:"b" ignore in
+  Alcotest.(check int) "first store-and-forward latency" 31 l1;
+  Alcotest.(check int) "second pipelines behind first" 43 l2;
+  Sim.run sim;
+  Alcotest.(check int) "contended cycles hand-computed" (31 + 43)
+    (Stats.get stats "net.contended_cycles")
+
 let test_network_contention_off_is_default () =
   let m = Machine.create ~seed:1 ~n_procs:4 ~costs:Costs.software () in
   let t1 = ref 0 and t2 = ref 0 in
@@ -565,6 +609,10 @@ let () =
             test_network_contention_serializes_shared_link;
           Alcotest.test_case "contention disjoint parallel" `Quick
             test_network_contention_disjoint_paths_parallel;
+          Alcotest.test_case "contention back-to-back exact" `Quick
+            test_network_contention_back_to_back_exact;
+          Alcotest.test_case "contention multihop exact" `Quick
+            test_network_contention_multihop_exact;
           Alcotest.test_case "contention off by default" `Quick
             test_network_contention_off_is_default;
         ] );

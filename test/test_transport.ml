@@ -252,6 +252,46 @@ let test_duplicate_all () =
   Transport.check_all_delivered tp;
   Alcotest.(check int) "nothing in flight" 0 (Transport.inflight_total tp)
 
+let test_delay_all () =
+  let _, posted, delivered, _, handled, tp =
+    run_flaky ~seed:9
+      ~spec:{ Transport.no_fault with delay = 1.0; delay_cycles = 500 }
+      ~n:10 ()
+  in
+  Alcotest.(check int) "all posted" 10 posted;
+  Alcotest.(check int) "all delivered despite the delay leg" 10 delivered;
+  Alcotest.(check int) "handler ran for each" 10 handled;
+  Transport.check_all_delivered tp;
+  Alcotest.(check int) "nothing in flight" 0 (Transport.inflight_total tp)
+
+let test_cancel_pending_delays () =
+  (* Deliveries stuck in the fault-delay stage are cancellable timers:
+     revoking them counts the messages as dropped, so the in-flight
+     account closes without them ever arriving. *)
+  let m = machine () in
+  let tp = Machine.transport m in
+  let k = Transport.kind tp "flaky" in
+  let handled = ref 0 in
+  Transport.Endpoint.register_all tp ~kind:k (fun () ->
+      incr handled;
+      Thread.return ());
+  Transport.configure_faults tp ~seed:13
+    [ ("flaky", { Transport.no_fault with delay = 1.0; delay_cycles = 1_000_000 }) ];
+  Machine.spawn m ~on:0 (Thread.repeat 5 (fun i -> Transport.post tp k ~dst:(1 + i) ~words:8 ()));
+  (* Far enough for every wire hop to land (arming the delay timers),
+     far before any timer expires. *)
+  Machine.run ~until:5_000 m;
+  Alcotest.(check int) "all posted" 5 (Transport.posted tp "flaky");
+  Alcotest.(check int) "all stuck in the delay stage" 5 (Transport.inflight tp "flaky");
+  Alcotest.(check int) "five timers revoked" 5 (Transport.cancel_pending_delays tp);
+  Alcotest.(check int) "revoked deliveries count as dropped" 5 (Transport.dropped tp "flaky");
+  Transport.check_all_delivered tp;
+  Alcotest.(check int) "nothing in flight" 0 (Transport.inflight_total tp);
+  (* Draining the simulator delivers nothing: the events are gone. *)
+  Machine.run m;
+  Alcotest.(check int) "no handler ever ran" 0 !handled;
+  Alcotest.(check int) "second sweep finds nothing" 0 (Transport.cancel_pending_delays tp)
+
 let test_sanitizer_catches_lost_message () =
   (* Stop the run before the message can arrive: it is posted, not
      dropped, and never delivered — exactly what the sanitizer exists to
@@ -303,6 +343,8 @@ let () =
             test_faults_off_is_baseline;
           Alcotest.test_case "drop everything" `Quick test_drop_all;
           Alcotest.test_case "duplicate everything" `Quick test_duplicate_all;
+          Alcotest.test_case "delay everything" `Quick test_delay_all;
+          Alcotest.test_case "cancel pending delays" `Quick test_cancel_pending_delays;
           Alcotest.test_case "sanitizer catches a lost message" `Quick
             test_sanitizer_catches_lost_message;
         ] );
