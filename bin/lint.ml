@@ -1,352 +1,133 @@
-(* cm-lint: a determinism / correctness lint for the simulation libraries.
+(* cm-lint: determinism / correctness / shard-safety lint for the
+   simulation libraries — thin driver over lib/analysis (Cm_analysis).
 
-   Parses every .ml file under the given roots (default: lib) with
-   compiler-libs and flags hazards that would silently break the
-   repository's bit-for-bit reproducibility claim or crash at runtime:
+   Two layers of rules:
 
-     determinism      Random.*, Sys.time, Unix.*, Hashtbl.randomize, or
-                      Hashtbl.create ~random:... — nondeterministic inputs
-                      that must stay behind Cm_engine.Rng.
-     hashtbl-order    Hashtbl.iter / Hashtbl.fold — iteration order is
-                      unspecified and can leak into event scheduling or
-                      printed reports.  Allowed when the result is
-                      order-insensitive (sorted afterwards, commutative
-                      accumulation) — annotate the site.
-     closure-compare  Structural =, <> or compare where an operand is a
-                      function literal or a conventionally-named
-                      continuation (k, cont, resume, action, ...).
-                      Continuations are first-class values here and
-                      structural comparison on closures raises at runtime.
-     printf           Printf.printf / Format.printf / print_* in library
-                      code: report output belongs to the experiments'
-                      report layer, diagnostics to Cm_engine.Trace.
-     poly-compare     Stdlib.compare / Pervasives.compare passed around
-                      as a bare comparison-function value (List.sort
-                      compare, Heap.create ~cmp:compare, ...) in the
-                      hot-path libraries lib/engine, lib/machine,
-                      lib/memory: the polymorphic runtime comparator
-                      defeats specialization on every element — use
-                      Int.compare / String.compare or a monomorphic
-                      comparator.  Direct applications (compare a b) are
-                      specialized by the compiler and not flagged.
-     raw-send         Network.send / Network.send_k outside lib/machine:
-                      all remote traffic must flow through
-                      Cm_machine.Transport (typed endpoints, unified
-                      send/receive pipelines, fault injection, delivery
-                      accounting) — hand-rolled pipelines drift and
-                      re-intern kind labels on hot paths.
-     global-state     toplevel `ref`, `Hashtbl.create` or `Atomic.make` in
-                      a library module: shared mutable state is visible to
-                      every domain at once, so it either races under the
-                      parallel sweep harness or (when guarded) couples
-                      runs that must be independent.  State belongs in
-                      the machine/runtime instance, in Domain.DLS, or —
-                      for genuinely cross-domain toggles — in an Atomic
-                      with a vetting comment.  Only module-toplevel
-                      bindings are flagged; function-local state is fine.
+   - *Syntactic* (parsetree, no build artifacts needed): determinism,
+     hashtbl-order, closure-compare (name heuristic), printf,
+     poly-compare, raw-send, global-state.  A fast tripwire: it matches
+     identifiers as written, so a module alias can hide a call from it.
 
-   Suppression: a finding is allowed when its line (or the line above)
-   carries "(* lint: allow <rule> *)", or the file carries
-   "(* lint: allow-file <rule> *)" anywhere (for presentation-layer
-   modules whose whole purpose is printing).
+   - *Typed* (over the .cmt files dune produces, resolved paths, module
+     aliases expanded): the identifier rules re-run alias-proof
+     (determinism, hashtbl-order, printf, raw-send, poly-compare,
+     closure-compare — the typed variant asks the type checker whether
+     an operand's type contains a function), plus two whole-library
+     passes:
+       domain-safety   classifies every module-init-time mutable
+                       location by ownership (escaping / atomic / dls /
+                       sync / mutex-guarded), walks the cross-module
+                       reference graph for state escaping its unit, and
+                       flags unsynchronized mutable payloads crossing
+                       shard boundaries through Transport.
+       hot-alloc       flags closure / tuple / record / variant /
+                       boxed-float / partial-application allocation
+                       inside the declared hot-path set (Sim event
+                       cycle, Transport pipelines, Thread combinators,
+                       Processor dispatch).
 
-   Findings print as "file:line: rule: message"; exit status is non-zero
-   when any unsuppressed finding remains.  The lint is purely syntactic —
-   it parses but does not type — so module aliases can hide a call from
-   it; it is a tripwire, not a proof. *)
+   The typed passes make the old header's caveat ("parses but does not
+   type — it is a tripwire, not a proof") obsolete for everything above:
+   findings come with resolved paths and, for the interprocedural rules,
+   call-chain witnesses.
 
-type finding = { file : string; line : int; rule : string; msg : string }
+   Suppression: "(* lint: allow <rule> [why] *)" on the line or the line
+   above, "(* lint: allow-file <rule> [why] *)" anywhere in the file, or
+   [@cm.shard_safe "why"] on a binding (domain-safety only).
+   domain-safety and hot-alloc demand the written justification; a
+   suppression naming an unknown rule is itself a finding
+   (bad-suppress).
 
-let findings : finding list ref = ref []
+   Findings print as "file:line: rule: msg", sorted by (file, line,
+   rule); --json writes the machine-readable form (rule, path, ownership
+   class, call-chain witness); --baseline FILE tolerates the checked-in
+   debt and fails only on findings beyond it.  Exit status: 0 clean,
+   1 findings, 2 usage/IO error. *)
 
-let report ~file ~line ~rule msg = findings := { file; line; rule; msg } :: !findings
-
-(* ------------------------------------------------------------------ *)
-(* Source-comment suppressions                                        *)
-(* ------------------------------------------------------------------ *)
-
-let contains hay needle =
-  let n = String.length hay and m = String.length needle in
-  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
-  m = 0 || go 0
-
-let read_lines path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> Array.of_list (List.rev acc)
-      in
-      go [])
-
-let suppressed lines ~line ~rule =
-  let tag = "lint: allow " ^ rule in
-  let file_tag = "lint: allow-file " ^ rule in
-  let at i = i >= 1 && i <= Array.length lines && contains lines.(i - 1) tag in
-  at line || at (line - 1) || Array.exists (fun l -> contains l file_tag) lines
-
-(* ------------------------------------------------------------------ *)
-(* The rules                                                          *)
-(* ------------------------------------------------------------------ *)
-
-let strip_stdlib = function ("Stdlib" | "Pervasives") :: rest -> rest | path -> path
-
-let ident_path e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_ident { txt; _ } ->
-    (try Some (strip_stdlib (Longident.flatten txt)) with Misc.Fatal_error -> None)
-  | _ -> None
-
-let forbidden_ident = function
-  | "Random" :: _ -> Some "use of Random.* (route randomness through Cm_engine.Rng)"
-  | [ "Sys"; "time" ] -> Some "Sys.time is wall-clock dependent (use the Sim clock)"
-  | "Unix" :: _ -> Some "use of Unix.* (real-world I/O and time break determinism)"
-  | [ "Hashtbl"; "randomize" ] -> Some "Hashtbl.randomize makes iteration order per-process"
-  | _ -> None
-
-let order_sensitive_ident = function
-  | [ "Hashtbl"; ("iter" | "fold") ] -> true
-  | _ -> false
-
-let printing_ident = function
-  | [ "Printf"; "printf" ]
-  | [ "Format"; "printf" ]
-  | [ ("print_string" | "print_endline" | "print_newline" | "print_int" | "print_char"
-      | "print_float") ] ->
-    true
-  | _ -> false
-
-(* Identifiers that conventionally hold continuations/closures in this
-   codebase; structural comparison on them raises at runtime.  "k" is
-   deliberately absent — it names both continuations (CPS internals) and
-   integer keys (B-tree, DHT), and the latter dominate comparisons. *)
-let closure_names = [ "cont"; "continuation"; "resume"; "action"; "thunk"; "callback" ]
-
-let rec last = function [] -> "" | [ x ] -> x | _ :: tl -> last tl
-
-let closure_suspect (e : Parsetree.expression) =
-  match e.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ -> true
-  | Pexp_ident { txt = Lident n; _ } -> List.mem n closure_names
-  | Pexp_field (_, { txt; _ }) ->
-    (try List.mem (last (Longident.flatten txt)) closure_names
-     with Misc.Fatal_error -> false)
-  | _ -> false
-
-let polymorphic_compare = function [ ("=" | "<>" | "compare") ] -> true | _ -> false
-
-let raw_send_ident = function
-  | [ "Network"; ("send" | "send_k") ] | [ "Cm_machine"; "Network"; ("send" | "send_k") ] -> true
-  | _ -> false
-
-(* The transport itself (and the machine layer it lives in) is the one
-   legitimate client of the raw network send. *)
-let raw_send_applies file = not (contains file "lib/machine")
-
-(* poly-compare is scoped to the simulation hot-path libraries (plus the
-   negative fixture, which must exercise every rule). *)
-let poly_compare_scope = [ "lib/engine"; "lib/machine"; "lib/memory"; "fixtures" ]
-
-let poly_compare_applies file = List.exists (contains file) poly_compare_scope
-
-(* Offsets of expressions in function (head) position of an application;
-   the iterator visits the application before its head, so heads are
-   recorded before the ident check below sees them. *)
-let applied_heads : (int, unit) Hashtbl.t = Hashtbl.create 256
-
-let hashtbl_create_random args =
-  List.exists
-    (fun (label, (arg : Parsetree.expression)) ->
-      match (label, arg.pexp_desc) with
-      | ( (Asttypes.Labelled "random" | Asttypes.Optional "random"),
-          Pexp_construct ({ txt = Lident "false"; _ }, None ) ) ->
-        false
-      | (Asttypes.Labelled "random" | Asttypes.Optional "random"), _ -> true
-      | _ -> false)
-    args
-
-(* --- global-state: toplevel mutable state in library modules.  A
-   separate walk from the expression iterator: only bindings at module
-   toplevel (including nested/included module structures) are flagged —
-   a `ref` inside a function body or a functor (fresh per application)
-   is per-call state and fine. *)
-
-let rec peel_constraint (e : Parsetree.expression) =
-  match e.pexp_desc with
-  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> peel_constraint e'
-  | _ -> e
-
-let global_state_ctor e =
-  match (peel_constraint e).Parsetree.pexp_desc with
-  | Pexp_apply (fn, _) -> (
-    match ident_path fn with
-    | Some [ "ref" ] -> Some "ref"
-    | Some [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
-    | Some [ "Atomic"; "make" ] -> Some "Atomic.make"
-    | _ -> None)
-  | _ -> None
-
-let rec check_structure ~file (items : Parsetree.structure) =
-  List.iter
-    (fun (item : Parsetree.structure_item) ->
-      match item.pstr_desc with
-      | Pstr_value (_, bindings) ->
-        List.iter
-          (fun (vb : Parsetree.value_binding) ->
-            match global_state_ctor vb.pvb_expr with
-            | Some ctor ->
-              let line = vb.pvb_expr.pexp_loc.Location.loc_start.Lexing.pos_lnum in
-              report ~file ~line ~rule:"global-state"
-                (Printf.sprintf
-                   "toplevel %s is mutable state shared across domains and runs; move it \
-                    into the machine/runtime instance or Domain.DLS, or vet it as an \
-                    Atomic with an allow comment"
-                   ctor)
-            | None -> ())
-          bindings
-      | Pstr_module { pmb_expr; _ } -> check_module_expr ~file pmb_expr
-      | Pstr_recmodule mbs ->
-        List.iter
-          (fun (mb : Parsetree.module_binding) -> check_module_expr ~file mb.pmb_expr)
-          mbs
-      | Pstr_include { pincl_mod; _ } -> check_module_expr ~file pincl_mod
-      | _ -> ())
-    items
-
-and check_module_expr ~file (m : Parsetree.module_expr) =
-  match m.pmod_desc with
-  | Pmod_structure items -> check_structure ~file items
-  | Pmod_constraint (m', _) -> check_module_expr ~file m'
-  | _ -> ()
-
-(* ------------------------------------------------------------------ *)
-(* The walk                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let check_expr ~file (e : Parsetree.expression) =
-  let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
-  (match ident_path e with
-  | Some path -> (
-    (match forbidden_ident path with
-    | Some msg -> report ~file ~line ~rule:"determinism" msg
-    | None -> ());
-    if order_sensitive_ident path then
-      report ~file ~line ~rule:"hashtbl-order"
-        (Printf.sprintf
-           "%s iterates in unspecified order; sort the result or justify with an allow \
-            comment"
-           (String.concat "." path));
-    if raw_send_ident path && raw_send_applies file then
-      report ~file ~line ~rule:"raw-send"
-        (Printf.sprintf
-           "%s outside lib/machine; send through Cm_machine.Transport (typed endpoints) \
-            instead"
-           (String.concat "." path));
-    if printing_ident path then
-      report ~file ~line ~rule:"printf"
-        (Printf.sprintf "%s prints from library code; route through Cm_engine.Trace or the \
-                         report layer"
-           (String.concat "." path));
-    if
-      path = [ "compare" ]
-      && poly_compare_applies file
-      && not (Hashtbl.mem applied_heads e.pexp_loc.Location.loc_start.Lexing.pos_cnum)
-    then
-      report ~file ~line ~rule:"poly-compare"
-        "polymorphic compare used as a comparison-function value; use Int.compare / \
-         String.compare or a monomorphic comparator")
-  | None -> ());
-  match e.pexp_desc with
-  | Pexp_apply (fn, args) -> (
-    Hashtbl.replace applied_heads fn.Parsetree.pexp_loc.Location.loc_start.Lexing.pos_cnum ();
-    (match ident_path fn with
-    | Some [ "Hashtbl"; "create" ] when hashtbl_create_random args ->
-      report ~file ~line ~rule:"determinism"
-        "Hashtbl.create ~random makes iteration order per-process"
-    | Some op when polymorphic_compare op ->
-      if List.exists (fun (_, a) -> closure_suspect a) args then
-        report ~file ~line ~rule:"closure-compare"
-          (Printf.sprintf
-             "structural %s on a value that looks like a closure (continuations raise \
-              under polymorphic comparison)"
-             (String.concat "." op))
-    | _ -> ()))
-  | _ -> ()
-
-let lint_file file =
-  Hashtbl.reset applied_heads;
-  let ast =
-    let ic = open_in_bin file in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let lexbuf = Lexing.from_channel ic in
-        Location.init lexbuf file;
-        Parse.implementation lexbuf)
-  in
-  let iter =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun self e ->
-          check_expr ~file e;
-          Ast_iterator.default_iterator.expr self e);
-    }
-  in
-  iter.structure iter ast;
-  check_structure ~file ast
-
-(* ------------------------------------------------------------------ *)
-(* Driver                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let rec collect_ml acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.fold_left
-         (fun acc entry ->
-           if String.length entry > 0 && (entry.[0] = '_' || entry.[0] = '.') then acc
-           else collect_ml acc (Filename.concat path entry))
-         acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+let usage () =
+  prerr_endline
+    "usage: lint.exe [--json FILE] [--baseline FILE] [--write-baseline FILE]\n\
+    \                [--syntactic-only] [--typed-only] [--require-cmt]\n\
+    \                [--source-root DIR] [root...]   (default root: lib)";
+  exit 2
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with _ :: (_ :: _ as roots) -> roots | _ -> [ "lib" ]
+  let json_out = ref None
+  and baseline_in = ref None
+  and baseline_out = ref None
+  and syntactic = ref true
+  and typed = ref true
+  and require_cmt = ref false
+  and source_root = ref "."
+  and roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: f :: rest -> json_out := Some f; parse rest
+    | "--baseline" :: f :: rest -> baseline_in := Some f; parse rest
+    | "--write-baseline" :: f :: rest -> baseline_out := Some f; parse rest
+    | "--syntactic-only" :: rest -> typed := false; parse rest
+    | "--typed-only" :: rest -> syntactic := false; parse rest
+    | "--require-cmt" :: rest -> require_cmt := true; parse rest
+    | "--source-root" :: d :: rest -> source_root := d; parse rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | root :: rest -> roots := root :: !roots; parse rest
   in
-  let files =
-    try List.fold_left collect_ml [] roots |> List.sort String.compare
-    with Sys_error msg ->
-      Printf.eprintf "cm-lint: %s\n" msg;
-      exit 2
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !roots with [] -> [ "lib" ] | r -> r in
+  let config =
+    {
+      Cm_analysis.Driver.roots;
+      source_root = !source_root;
+      syntactic = !syntactic;
+      typed = !typed;
+      hot = Cm_analysis.Hot_alloc.default;
+    }
   in
-  let parse_failures = ref 0 in
-  List.iter
-    (fun file ->
-      try lint_file file
-      with exn ->
-        incr parse_failures;
-        Printf.eprintf "%s: parse-error: %s\n" file (Printexc.to_string exn))
-    files;
-  let surviving =
-    List.filter
-      (fun f ->
-        let lines = read_lines f.file in
-        not (suppressed lines ~line:f.line ~rule:f.rule))
-      !findings
-    |> List.sort (fun a b ->
-           match String.compare a.file b.file with 0 -> compare a.line b.line | c -> c)
+  let outcome = Cm_analysis.Driver.run config in
+  List.iter (fun e -> Printf.eprintf "%s\n" e) outcome.errors;
+  if !typed && !require_cmt && outcome.units_analyzed = 0 then begin
+    Printf.eprintf
+      "cm-lint: --require-cmt: no .cmt files under %s (build first: dune build)\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  (match !json_out with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Cm_analysis.Finding.list_to_json outcome.findings);
+    close_out oc
+  | None -> ());
+  (match !baseline_out with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Cm_analysis.Baseline.render outcome.findings);
+    close_out oc;
+    Printf.printf "cm-lint: baseline of %d finding(s) written to %s\n"
+      (List.length outcome.findings) path
+  | None -> ());
+  let to_report =
+    match !baseline_in with
+    | None -> outcome.findings
+    | Some path ->
+      let verdict = Cm_analysis.Baseline.check ~baseline:(Cm_analysis.Baseline.load path) outcome.findings in
+      List.iter
+        (fun (key, allowed, have) ->
+          Printf.eprintf
+            "cm-lint: stale baseline entry (%d allowed, %d present): %s\n" allowed have key)
+        verdict.stale;
+      verdict.fresh
   in
-  List.iter
-    (fun f -> Printf.printf "%s:%d: %s: %s\n" f.file f.line f.rule f.msg)
-    surviving;
-  if surviving <> [] || !parse_failures > 0 then begin
-    Printf.eprintf "cm-lint: %d finding(s) in %d file(s) scanned\n" (List.length surviving)
-      (List.length files);
+  List.iter (fun f -> print_endline (Cm_analysis.Finding.to_string f)) to_report;
+  if to_report <> [] || outcome.errors <> [] then begin
+    Printf.eprintf "cm-lint: %d finding(s)%s in %d file(s), %d typed unit(s)\n"
+      (List.length to_report)
+      (if !baseline_in <> None then " beyond baseline" else "")
+      outcome.files_scanned outcome.units_analyzed;
     exit 1
   end
-  else Printf.printf "cm-lint: %d files clean\n" (List.length files)
+  else if !baseline_out = None then
+    Printf.printf "cm-lint: clean — %d file(s), %d typed unit(s)%s\n" outcome.files_scanned
+      outcome.units_analyzed
+      (match !baseline_in with
+      | Some _ -> Printf.sprintf " (baseline absorbed %d)" (List.length outcome.findings)
+      | None -> "")

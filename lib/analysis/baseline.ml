@@ -1,0 +1,105 @@
+(* Checked-in finding baseline: CI enforces "no new findings" while
+   pre-existing debt is burned down explicitly.
+
+   Format: one entry per line, "<rule>|<file>|<context>|<class> xN"
+   (the " xN" multiplicity suffix defaults to 1; '#' starts a comment).
+   Keys deliberately exclude line numbers — a baseline survives edits
+   that merely renumber lines, but not moving debt to a new function or
+   adding an allocation site to an already-listed one (the count
+   grows). *)
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.rindex_opt line 'x' with
+    | Some i
+      when i >= 2
+           && line.[i - 1] = ' '
+           && (let tail = String.sub line (i + 1) (String.length line - i - 1) in
+               tail <> "" && String.for_all (fun c -> c >= '0' && c <= '9') tail) ->
+      let n = int_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+      Some (String.trim (String.sub line 0 (i - 1)), n)
+    | _ -> Some (line, 1)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (match parse_line line with Some e -> e :: acc | None -> acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+let counts_of_findings findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let k = Finding.baseline_key f in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    findings;
+  tbl
+
+type verdict = {
+  fresh : Finding.t list;  (* findings beyond the baselined count — CI fails on these *)
+  stale : (string * int * int) list;  (* baselined keys with fewer/no current findings *)
+}
+
+(* [check ~baseline findings]: for each key, the first [allowed]
+   findings (in stable sorted order) are absorbed by the baseline; the
+   rest are fresh.  Keys whose current count dropped below the baseline
+   are reported stale so the debt file can be trimmed. *)
+let check ~baseline findings =
+  let allowed = Hashtbl.create 64 in
+  List.iter
+    (fun (k, n) ->
+      Hashtbl.replace allowed k (n + Option.value ~default:0 (Hashtbl.find_opt allowed k)))
+    baseline;
+  let remaining = Hashtbl.copy allowed in
+  let fresh =
+    List.filter
+      (fun f ->
+        let k = Finding.baseline_key f in
+        match Hashtbl.find_opt remaining k with
+        | Some n when n > 0 ->
+          Hashtbl.replace remaining k (n - 1);
+          false
+        | _ -> true)
+      (Finding.sort findings)
+  in
+  let current = counts_of_findings findings in
+  let stale =
+    Hashtbl.fold (* lint: allow hashtbl-order *)
+      (fun k n acc ->
+        let have = Option.value ~default:0 (Hashtbl.find_opt current k) in
+        if have < n then (k, n, have) :: acc else acc)
+      allowed []
+    |> List.sort compare (* lint: allow poly-compare *)
+  in
+  { fresh; stale }
+
+(* Render the current findings as baseline lines (sorted, with
+   multiplicities) — what `cm-lint --write-baseline` emits. *)
+let render findings =
+  let tbl = counts_of_findings findings in
+  let keys =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] (* lint: allow hashtbl-order *)
+    |> List.sort compare (* lint: allow poly-compare *)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "# cm-lint baseline: pre-existing findings tolerated by CI (rule|file|context|class \
+     xN).\n# Regenerate with: dune exec bin/lint.exe -- --write-baseline lint.baseline \
+     <roots>\n";
+  List.iter
+    (fun (k, n) ->
+      Buffer.add_string buf (if n = 1 then k else Printf.sprintf "%s x%d" k n);
+      Buffer.add_char buf '\n')
+    keys;
+  Buffer.contents buf

@@ -1,0 +1,358 @@
+(* Whole-library index over the .cmt files dune already produces.
+
+   The typed passes work on *canonical value paths*: every way of naming
+   a value — directly ([Network.send]), through the library wrapper
+   ([Cm_machine.Network.send]), through dune's mangled unit name
+   ([Cm_machine__Network.send]), or through a local module alias
+   ([module N = Network ... N.send]) — maps to one spelling,
+   "Cm_machine.Network.send".  That is what closes the module-alias
+   blind spot of the syntactic pass: the Typedtree records resolved
+   [Path.t]s, and local aliases are expanded with an alias table
+   collected from the same tree.
+
+   The index also records, for every compilation unit:
+   - its toplevel value bindings (including nested [struct]s), keyed
+     both by canonical path and by definition location, so a
+     [Texp_ident] whose [Path.t] is a bare ident (same-unit reference)
+     can be resolved through [val_loc];
+   - every type declaration's [Types.type_declaration], powering the
+     structural mutability query used by the domain-safety pass. *)
+
+type binding = {
+  b_name : string;
+  b_canon : string;  (* canonical dotted path, e.g. "Cm_engine.Sim.post" *)
+  b_vb : Typedtree.value_binding;
+  b_loc : Location.t;  (* the bound variable's location *)
+}
+
+type unit_info = {
+  ui_canon : string;  (* canonical module prefix, e.g. "Cm_engine.Sim" *)
+  ui_source : string;  (* source path as recorded by the compiler *)
+  ui_structure : Typedtree.structure;
+  ui_aliases : (string, string) Hashtbl.t;  (* local module name -> canonical prefix *)
+  mutable ui_bindings : binding list;
+}
+
+type t = {
+  units : unit_info list;
+  by_canon : (string, binding * unit_info) Hashtbl.t;
+  by_decl_loc : (string * int, string) Hashtbl.t;  (* (fname, cnum) -> canonical *)
+  type_decls : (string, Types.type_declaration) Hashtbl.t;  (* canonical type path *)
+  errors : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Canonical names                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* "Cm_machine__Network" -> "Cm_machine.Network"; plain names pass through. *)
+let canon_unit name =
+  let n = String.length name in
+  let rec find i =
+    if i + 2 > n then None
+    else if name.[i] = '_' && name.[i + 1] = '_' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i when i > 0 && i + 2 < n ->
+    let tail = String.sub name (i + 2) (n - i - 2) in
+    String.sub name 0 i ^ "." ^ String.capitalize_ascii tail
+  | _ -> name
+
+let strip_stdlib s =
+  let pfx = "Stdlib." in
+  if String.length s > String.length pfx && String.sub s 0 (String.length pfx) = pfx then
+    String.sub s (String.length pfx) (String.length s - String.length pfx)
+  else s
+
+(* Canonical name of a resolved path, expanding local module aliases
+   collected from the same unit. *)
+let canon_path ui (p : Path.t) =
+  let rec go = function
+    | Path.Pident id ->
+      let n = Ident.name id in
+      (match Hashtbl.find_opt ui.ui_aliases n with
+      | Some target -> target
+      | None -> canon_unit n)
+    | Path.Pdot (p', s) -> go p' ^ "." ^ s
+    | Path.Papply (p', _) -> go p'
+    | Path.Pextra_ty (p', _) -> go p'
+  in
+  strip_stdlib (go p)
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec find_cmts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc e -> find_cmts acc (Filename.concat path e)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let rec peel_module (m : Typedtree.module_expr) =
+  match m.mod_desc with
+  | Tmod_constraint (m', _, _, _) -> peel_module m'
+  | d -> d
+
+let pat_var (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, name) -> Some (Ident.name id, name.loc)
+  | Tpat_alias (_, id, name) -> Some (Ident.name id, name.loc)
+  | _ -> None
+
+(* Walk a unit's structure: record aliases, toplevel bindings and type
+   declarations, descending into named sub-structures (but not functors —
+   a functor body is fresh per application). *)
+let index_unit idx ui =
+  let rec str prefix (s : Typedtree.structure) =
+    List.iter (item prefix) s.str_items
+  and item prefix (it : Typedtree.structure_item) =
+    match it.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          match pat_var vb.vb_pat with
+          | None -> ()
+          | Some (name, loc) ->
+            let canon = prefix ^ "." ^ name in
+            let b = { b_name = name; b_canon = canon; b_vb = vb; b_loc = loc } in
+            ui.ui_bindings <- b :: ui.ui_bindings;
+            Hashtbl.replace idx.by_canon canon (b, ui);
+            let key pos = (pos.Lexing.pos_fname, pos.Lexing.pos_cnum) in
+            Hashtbl.replace idx.by_decl_loc (key loc.Location.loc_start) canon;
+            Hashtbl.replace idx.by_decl_loc (key vb.vb_loc.Location.loc_start) canon)
+        vbs
+    | Tstr_type (_, decls) ->
+      List.iter
+        (fun (d : Typedtree.type_declaration) ->
+          Hashtbl.replace idx.type_decls (prefix ^ "." ^ d.typ_name.txt) d.typ_type)
+        decls
+    | Tstr_module mb -> module_binding prefix mb
+    | Tstr_recmodule mbs -> List.iter (module_binding prefix) mbs
+    | Tstr_include { incl_mod; _ } -> (
+      match peel_module incl_mod with
+      | Tmod_structure s -> str prefix s
+      | _ -> ())
+    | _ -> ()
+  and module_binding prefix (mb : Typedtree.module_binding) =
+    match mb.mb_name.txt with
+    | None -> ()
+    | Some name -> (
+      match peel_module mb.mb_expr with
+      | Tmod_ident (p, _) ->
+        (* A module alias: record the expansion so [canon_path] sees
+           through it — this is the hole the syntactic lint documents. *)
+        Hashtbl.replace ui.ui_aliases name (canon_path ui p)
+      | Tmod_structure s -> str (prefix ^ "." ^ name) s
+      | _ -> ())
+  in
+  str ui.ui_canon ui.ui_structure
+
+let load ~roots =
+  let idx =
+    {
+      units = [];
+      by_canon = Hashtbl.create 512;
+      by_decl_loc = Hashtbl.create 512;
+      type_decls = Hashtbl.create 128;
+      errors = [];
+    }
+  in
+  let cmts =
+    List.fold_left (fun acc r -> if Sys.file_exists r then find_cmts acc r else acc) [] roots
+    |> List.sort String.compare
+  in
+  let units = ref [] and errors = ref [] in
+  List.iter
+    (fun path ->
+      match Cmt_format.read_cmt path with
+      | exception exn ->
+        errors := Printf.sprintf "%s: unreadable cmt: %s" path (Printexc.to_string exn) :: !errors
+      | infos -> (
+        match (infos.cmt_annots, infos.cmt_sourcefile) with
+        | Implementation structure, Some src when Filename.check_suffix src ".ml" ->
+          let ui =
+            {
+              ui_canon = canon_unit infos.cmt_modname;
+              ui_source = src;
+              ui_structure = structure;
+              ui_aliases = Hashtbl.create 8;
+              ui_bindings = [];
+            }
+          in
+          units := ui :: !units
+        | _ -> ()))
+    cmts;
+  let idx = { idx with units = List.rev !units; errors = List.rev !errors } in
+  List.iter (fun ui -> index_unit idx ui) idx.units;
+  idx
+
+(* ------------------------------------------------------------------ *)
+(* Reference resolution                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical name of an identifier use, alias-expanded.  Bare idents are
+   resolved through the declaration-location table: a same-unit toplevel
+   reference resolves to its canonical path; a genuinely local variable
+   resolves to [None]. *)
+let resolve idx ui (p : Path.t) (vd : Types.value_description) =
+  match p with
+  | Path.Pident _ ->
+    let pos = vd.val_loc.Location.loc_start in
+    Hashtbl.find_opt idx.by_decl_loc (pos.Lexing.pos_fname, pos.Lexing.pos_cnum)
+  | _ -> Some (canon_path ui p)
+
+(* All canonical toplevel values referenced from [e] (descending into
+   function bodies — this is the call/reference graph edge set). *)
+let refs_of_expr idx ui (e : Typedtree.expression) =
+  let acc = ref [] in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, vd) -> (
+      match resolve idx ui p vd with
+      | Some canon when Hashtbl.mem idx.by_canon canon -> acc := canon :: !acc
+      | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.expr iter e;
+  List.sort_uniq String.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Structural type mutability                                         *)
+(* ------------------------------------------------------------------ *)
+
+type mut =
+  | Mutable of string  (* witness: which component is mutable *)
+  | Synchronized  (* Atomic.t / Mutex.t / DLS key — shared by design *)
+  | Immutable
+  | Unknown  (* abstract with no visible definition; not flagged *)
+
+let builtin_mutable =
+  [ "ref"; "array"; "bytes"; "Bytes.t"; "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t";
+    "Ephemeron.K1.t"; "Weak.t"; "Bigarray.Array1.t" ]
+
+let builtin_synchronized =
+  [ "Atomic.t"; "Mutex.t"; "Condition.t"; "Semaphore.Counting.t"; "Semaphore.Binary.t";
+    "Domain.DLS.key" ]
+
+(* Immutable containers whose type arguments must still be inspected:
+   a [Hashtbl.t list] payload is as shared-mutable as the table itself. *)
+let transparent_containers = [ "list"; "option"; "Option.t"; "result"; "Result.t"; "Either.t"; "Lazy.t"; "lazy_t"; "Seq.t" ]
+
+let join a b =
+  match (a, b) with
+  | (Mutable _ as m), _ | _, (Mutable _ as m) -> m
+  | Unknown, _ | _, Unknown -> Unknown
+  | Synchronized, x | x, Synchronized -> x
+  | Immutable, Immutable -> Immutable
+
+(* Canonical name of a *type* path: like [canon_path] but without the
+   per-unit alias table (type expressions in [Types.t] carry resolved
+   paths, where a cross-unit reference shows up under the mangled unit
+   name, e.g. "Cm_machine__Transport.t"). *)
+let canon_type_path (p : Path.t) =
+  let rec go = function
+    | Path.Pident id -> canon_unit (Ident.name id)
+    | Path.Pdot (p', s) -> go p' ^ "." ^ s
+    | Path.Papply (p', _) -> go p'
+    | Path.Pextra_ty (p', _) -> go p'
+  in
+  strip_stdlib (go p)
+
+(* [mutability idx ty] walks [ty] structurally: through tuples,
+   transparent containers, record fields, variant constructor arguments
+   and manifests, consulting the whole-library type index for user
+   types.  Arrows are treated as immutable (a closure may capture
+   mutable state, but flagging every function payload would drown the
+   signal — the capture is caught where the state is created).
+   [?self] is the unit the inspected expression lives in: a same-unit
+   type reference is a bare ident ("req", not "Unit.req"), so the
+   declaration table is also tried under [self]'s canonical prefix. *)
+let mutability ?self idx ty =
+  let seen = Hashtbl.create 16 in
+  let rec go depth ty =
+    if depth > 12 then Unknown
+    else
+      let id = Types.get_id ty in
+      if Hashtbl.mem seen id then Immutable  (* recursive occurrence: decided above *)
+      else begin
+        Hashtbl.add seen id ();
+        match Types.get_desc ty with
+        | Tarrow _ -> Immutable
+        | Ttuple tys -> List.fold_left (fun acc t -> join acc (go (depth + 1) t)) Immutable tys
+        | Tconstr (p, args, _) -> constr depth p args
+        | Tvar _ | Tunivar _ -> Unknown
+        | Tpoly (t, _) -> go depth t
+        | Tlink t | Tsubst (t, _) -> go depth t
+        | _ -> Unknown
+      end
+  and constr depth p args =
+    let name = strip_stdlib (Path.name p) in
+    if List.mem name builtin_mutable then Mutable name
+    else if List.mem name builtin_synchronized then Synchronized
+    else if List.mem name transparent_containers then
+      List.fold_left (fun acc t -> join acc (go (depth + 1) t)) Immutable args
+    else
+      let decl =
+        match Hashtbl.find_opt idx.type_decls (canon_type_path p) with
+        | Some d -> Some d
+        | None -> (
+          match (p, self) with
+          | Path.Pident _, Some (ui : unit_info) ->
+            Hashtbl.find_opt idx.type_decls (ui.ui_canon ^ "." ^ name)
+          | _ -> None)
+      in
+      match decl with
+      | None ->
+        (* int, float, string, unit, user abstract types from outside
+           the indexed roots... primitive scalars are immutable; the
+           rest are unknown. *)
+        if List.mem name
+             [ "int"; "float"; "char"; "bool"; "unit"; "string"; "int32"; "int64";
+               "nativeint"; "exn"; "floatarray" ]
+        then if name = "floatarray" then Mutable name else Immutable
+        else Unknown
+      | Some decl -> decl_mut depth name decl args
+  and decl_mut depth name (decl : Types.type_declaration) args =
+    let from_args = List.fold_left (fun acc t -> join acc (go (depth + 1) t)) Immutable args in
+    let own =
+      match decl.type_kind with
+      | Type_record (lds, _) ->
+        List.fold_left
+          (fun acc (ld : Types.label_declaration) ->
+            match ld.ld_mutable with
+            | Mutable ->
+              join acc (Mutable (Printf.sprintf "mutable field %s.%s" name (Ident.name ld.ld_id)))
+            | Immutable -> join acc (go (depth + 1) ld.ld_type))
+          Immutable lds
+      | Type_variant (cds, _) ->
+        List.fold_left
+          (fun acc (cd : Types.constructor_declaration) ->
+            match cd.cd_args with
+            | Cstr_tuple tys ->
+              List.fold_left (fun acc t -> join acc (go (depth + 1) t)) acc tys
+            | Cstr_record lds ->
+              List.fold_left
+                (fun acc (ld : Types.label_declaration) ->
+                  match ld.ld_mutable with
+                  | Mutable ->
+                    join acc
+                      (Mutable (Printf.sprintf "mutable field %s.%s" name (Ident.name ld.ld_id)))
+                  | Immutable -> join acc (go (depth + 1) ld.ld_type))
+                acc lds)
+          Immutable cds
+      | Type_abstract -> (
+        match decl.type_manifest with Some t -> go (depth + 1) t | None -> Unknown)
+      | Type_open -> Unknown
+    in
+    join own from_args
+  in
+  go 0 ty
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let file_of (loc : Location.t) = loc.loc_start.Lexing.pos_fname

@@ -1,0 +1,197 @@
+(* Hot-path allocation pass.
+
+   ROADMAP item 5 (zero-allocation continuations) needs an *enforced
+   floor*, not a one-off audit: once a hot function is allocation-free,
+   CI must fail when an allocation site reappears.  This pass walks the
+   declared hot-path set and reports every allocation the Typedtree
+   shows:
+
+     closure        a [fun]/[function] nested inside a hot body (the
+                    outermost curried chain of the definition itself is
+                    the function being defined, not a per-call
+                    allocation, and is skipped)
+     partial-apply  an application supplying fewer arguments than the
+                    callee's arrow arity — the runtime builds a closure
+     tuple          tuple construction
+     record         record construction
+     variant        constructor application with arguments (includes
+                    list cons and [Some])
+     array          array literals
+     boxed-float    a float component stored into a tuple or a
+                    mixed-representation record (each such store boxes)
+
+   The pass is deliberately conservative-by-list: it only looks inside
+   bindings named by the hot set, and the checked-in baseline
+   (lint.baseline) captures the *current* debt so "no new findings" is
+   enforceable while the debt is burned down explicitly. *)
+
+let rule = "hot-alloc"
+
+type spec = { s_unit : string;  (* canonical unit, e.g. "Cm_engine.Sim" *)
+              s_names : string list  (* toplevel binding names within it *) }
+
+(* The declared hot-path set: the event core's schedule/extract/fire
+   cycle, the transport's send/receive pipelines, the CPS thread
+   combinators (continuation resume), and the processor dispatch loop.
+   Growing this list is how a function joins the zero-allocation
+   floor. *)
+let default =
+  [
+    {
+      s_unit = "Cm_engine.Sim";
+      s_names =
+        [ "alloc"; "schedule"; "extract"; "fire"; "post"; "post_after"; "cancel";
+          "ovf_push"; "ovf_pop"; "ovf_sift_up"; "ovf_sift_down"; "prune_ovf" ];
+    };
+    {
+      s_unit = "Cm_machine.Transport";
+      s_names =
+        [ "transmit"; "dispatch"; "post"; "notify"; "call"; "migrate"; "signal"; "inject";
+          "fault_spec"; "fault_hits" ];
+    };
+    {
+      s_unit = "Cm_machine.Thread";
+      s_names =
+        [ "return"; "bind"; "map"; "guard"; "await"; "stall"; "travel_k"; "travel";
+          "yield"; "sleep"; "compute" ];
+    };
+    { s_unit = "Cm_machine.Processor";
+      s_names = [ "run_head"; "dispatch"; "enqueue"; "release"; "hold"; "charge" ] };
+  ]
+
+let in_hot_set specs (b : Cmt_index.binding) (ui : Cmt_index.unit_info) =
+  List.exists (fun s -> s.s_unit = ui.ui_canon && List.mem b.b_name s.s_names) specs
+
+let is_float ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> Cmt_index.strip_stdlib (Path.name p) = "float"
+  | _ -> false
+
+(* Subtrees that never run on the hot path proper: raising an error ends
+   the run, so its argument's allocations do not count toward the
+   zero-allocation floor. *)
+let raising_head = function
+  | "raise" | "raise_notrace" | "failwith" | "invalid_arg" -> true
+  | _ -> false
+
+(* Constant constructor trees the compiler statically allocates — format
+   strings desugar to CamlinternalFormatBasics constructors. *)
+let static_constructor (cd : Types.constructor_description) =
+  match Types.get_desc cd.cstr_res with
+  | Tconstr (p, _, _) ->
+    let n = Path.name p in
+    String.length n >= 14 && String.sub n 0 14 = "CamlinternalFo"
+  | _ -> false
+
+(* Arrow arity of a type, expanding abbreviations through the index's
+   type-declaration table ([unit Thread.t] is an arrow twice over). *)
+let arity idx ty =
+  let rec go depth ty =
+    if depth > 24 then 0
+    else
+      match Types.get_desc ty with
+      | Tarrow (_, _, rest, _) -> 1 + go (depth + 1) rest
+      | Tconstr (p, _, _) -> (
+        match Hashtbl.find_opt idx.Cmt_index.type_decls (Cmt_index.strip_stdlib (Path.name p)) with
+        | Some { Types.type_manifest = Some t; _ } -> go (depth + 1) t
+        | _ -> 0)
+      | Tpoly (t, _) -> go (depth + 1) t
+      | _ -> 0
+  in
+  go 0 ty
+
+let run (idx : Cmt_index.t) ?(hot = default) () =
+  let findings = ref [] in
+  let add ~ui ~(b : Cmt_index.binding) ~loc ~kind msg =
+    findings :=
+      Finding.v ~file:ui.Cmt_index.ui_source ~line:(Cmt_index.line_of loc) ~rule
+        ~context:b.b_canon ~detail:kind ~witness:[ b.b_canon ]
+        (Printf.sprintf "%s in hot path %s: %s" kind b.b_canon msg)
+      :: !findings
+  in
+  List.iter
+    (fun (ui : Cmt_index.unit_info) ->
+      List.iter
+        (fun (b : Cmt_index.binding) ->
+          if in_hot_set hot b ui then begin
+            (* Positions of function nodes that belong to a curried
+               chain already accounted for (or to the definition's own
+               outer chain): visited parent-first, so membership is
+               decided before the child is reached. *)
+            let chain : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+            let mark (e : Typedtree.expression) =
+              Hashtbl.replace chain e.exp_loc.loc_start.Lexing.pos_cnum ()
+            in
+            let in_chain (e : Typedtree.expression) =
+              Hashtbl.mem chain e.exp_loc.loc_start.Lexing.pos_cnum
+            in
+            mark b.b_vb.vb_expr;
+            let skip (e : Typedtree.expression) =
+              match e.exp_desc with
+              | Texp_assert _ -> true
+              | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+                raising_head (Cmt_index.canon_path ui p)
+              | _ -> false
+            in
+            let expr sub (e : Typedtree.expression) =
+              if skip e then ()
+              else begin
+              (match e.exp_desc with
+              | Texp_function { cases; _ } ->
+                List.iter
+                  (fun (c : Typedtree.value Typedtree.case) ->
+                    match c.c_rhs.exp_desc with
+                    | Texp_function _ -> mark c.c_rhs
+                    | _ -> ())
+                  cases;
+                if not (in_chain e) then
+                  add ~ui ~b ~loc:e.exp_loc ~kind:"closure"
+                    "closure allocated per call; hoist it or defunctionalize (pooled \
+                     frames, Sim handler ids)"
+              | Texp_tuple parts ->
+                add ~ui ~b ~loc:e.exp_loc ~kind:"tuple" "tuple allocated per call";
+                List.iter
+                  (fun (p : Typedtree.expression) ->
+                    if is_float p.exp_type then
+                      add ~ui ~b ~loc:e.exp_loc ~kind:"boxed-float"
+                        "float stored in a tuple is boxed")
+                  parts
+              | Texp_record { representation; fields; _ } ->
+                add ~ui ~b ~loc:e.exp_loc ~kind:"record" "record allocated per call";
+                let flat =
+                  match representation with Types.Record_float -> true | _ -> false
+                in
+                if not flat then
+                  Array.iter
+                    (fun ((ld : Types.label_description), _) ->
+                      if is_float ld.lbl_arg then
+                        add ~ui ~b ~loc:e.exp_loc ~kind:"boxed-float"
+                          (Printf.sprintf "float field '%s' is boxed in a mixed record"
+                             ld.lbl_name))
+                    fields
+              | Texp_construct (_, cd, (_ :: _ as _args)) ->
+                if not (static_constructor cd) then
+                  add ~ui ~b ~loc:e.exp_loc ~kind:"variant"
+                    (Printf.sprintf "constructor %s allocated per call" cd.cstr_name)
+              | Texp_array (_ :: _) ->
+                add ~ui ~b ~loc:e.exp_loc ~kind:"array" "array literal allocated per call"
+              | Texp_apply (head, args) ->
+                let supplied =
+                  List.length (List.filter (fun (_, a) -> a <> None) args)
+                in
+                let ar = arity idx head.exp_type in
+                if ar > supplied then
+                  add ~ui ~b ~loc:e.exp_loc ~kind:"partial-apply"
+                    (Printf.sprintf
+                       "partial application (%d of %d arguments) builds a closure per call"
+                       supplied ar)
+              | _ -> ());
+              Tast_iterator.default_iterator.expr sub e
+              end
+            in
+            let iter = { Tast_iterator.default_iterator with expr } in
+            iter.expr iter b.b_vb.vb_expr
+          end)
+        ui.ui_bindings)
+    idx.units;
+  !findings

@@ -110,6 +110,9 @@ let popcount_byte =
     tbl.(i) <- tbl.(i lsr 1) + (i land 1)
   done;
   tbl
+[@@cm.shard_safe
+  "write-once lookup table: fully initialized at module load, only read afterwards, so \
+   concurrent readers in any domain see frozen contents"]
 
 let cardinal s =
   if is_small s then begin

@@ -67,6 +67,7 @@ type t = {
 (* Placeholder for slots in [lines] at or beyond [brk]; never read
    because [info_exn] bounds-checks against [brk] and [alloc] overwrites
    every slot it hands out. *)
+(* lint: allow domain-safety — inert placeholder: shared by construction but never mutated and never read (info_exn bounds-checks against brk; alloc overwrites every slot it hands out) *)
 let unallocated = { home = -1; dstate = Uncached; mem = [||]; busy_until = 0 }
 
 let create ?(config = default_config) machine =

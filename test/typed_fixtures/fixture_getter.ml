@@ -1,0 +1,10 @@
+(* The classic "hashtable behind a getter": Fixture_store.table escapes
+   its owning unit through this module.  Both bindings must be reported
+   as escaping-getter, each with a call-chain witness ending at the
+   root. *)
+
+(* V5: direct re-export — witness [raw_table; table]. *)
+let raw_table () = Fixture_store.table
+
+(* V6: transitive reach — witness [lookup; raw_table; table]. *)
+let lookup pid = Hashtbl.find_opt (raw_table ()) pid

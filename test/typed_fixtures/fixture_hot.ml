@@ -1,0 +1,21 @@
+(* Hot-path allocation fixtures.  test_analysis.ml runs the hot-alloc
+   pass with a custom hot-set naming the four spin_* functions; the
+   cold_* twin must stay unflagged even though it allocates
+   identically. *)
+
+(* closure allocated per call *)
+let spin_closure n =
+  let f x = x + n in
+  f n
+
+(* tuple allocated per call *)
+let spin_pair a b = (a, b)
+
+(* tuple of boxed floats *)
+let spin_floats x = (x, x +. 1.0)
+
+(* partial application: 2 of 3 arguments builds a closure per call *)
+let spin_partial () = List.fold_left ( + ) 0
+
+(* identical allocation outside the hot set: must NOT be flagged *)
+let cold_pair a b = (a, b)

@@ -1,0 +1,50 @@
+(* Seeded domain-safety violations and safe negatives for
+   test/test_analysis.ml.  Each V<n> below must be reported by the
+   typed domain-safety pass; each S<n> must be classified but NOT
+   reported.  Nothing here is meant to run — the module exists so dune
+   produces a .cmt for the analyzer to chew on. *)
+
+(* V1: unguarded toplevel ref — escaping. *)
+let hits = ref 0
+
+let bump () = incr hits
+
+(* V2: toplevel hashtable — escaping, and additionally re-exported
+   across the module boundary by Fixture_getter (V5/V6). *)
+let table : (int, string) Hashtbl.t = Hashtbl.create 16
+
+(* Owner API over V2: reaching the table through its owning module's
+   own functions is encapsulation, not escape — must NOT be reported. *)
+let find_name pid = Hashtbl.find_opt table pid
+
+(* V3: module-init-time table captured in a closure.  The binding is a
+   function, but the [let] allocates the table once at module load —
+   the pass walks through [let] without entering the [fun] body. *)
+let memo_lookup =
+  let cache : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  fun k -> Hashtbl.find_opt cache k
+
+(* V4: toplevel mutable array literal — escaping. *)
+let weights = [| 0.0; 1.0; 2.0 |]
+
+(* S1: atomic — safe (the global-state rule, not domain-safety, owns
+   the "should this exist at all" question). *)
+let seq = Atomic.make 0
+
+(* S2: domain-local storage — safe by construction.  The Buffer.create
+   inside the initializer closure is per-domain, not module-init-time. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Buffer.create 64)
+
+(* S3: a lock is *for* sharing — safe. *)
+let lock = Mutex.create ()
+
+(* S4: record guarded by its own mutex — safe by convention. *)
+type guarded = { m : Mutex.t; mutable value : int }
+
+let shared_counter = { m = Mutex.create (); value = 0 }
+
+let guarded_value g =
+  Mutex.lock g.m;
+  let v = g.value in
+  Mutex.unlock g.m;
+  v
