@@ -17,7 +17,14 @@
    Usage:
      dune exec bench/main.exe               reproduction rows + bechamel
      dune exec bench/main.exe -- rows       reproduction rows only
-     dune exec bench/main.exe -- bench [f]  bechamel + JSON (default BENCH_pr5.json)
+     dune exec bench/main.exe -- bench [f]  bechamel + JSON (default BENCH_pr7.json)
+     dune exec bench/main.exe -- ab [NAME[,NAME...]] [f]
+                                            paired A/B of the frames vs cps
+                                            thread engines: interleaved
+                                            repetitions in one process,
+                                            median-of-8 comparison, and a
+                                            whole-run digest cross-check
+                                            (default specs fig2 + table1)
      dune exec bench/main.exe -- quick      reduced-horizon rows + bechamel
      dune exec bench/main.exe -- smoke [f]  fast bechamel pass for CI
                                             (default BENCH_smoke.json)
@@ -160,18 +167,28 @@ type result = {
 
 (* GC cost of one run, measured directly (not via Bechamel's allocation
    instances, whose per-sample clamping rounds small figures away): one
-   warm run, then quick_stat deltas around a second.  Minor words are the
-   headline number the pooled-event work drives down; promoted words are
-   subtracted from the major figure so it counts only direct major-heap
-   allocation. *)
+   warm run, then allocation deltas averaged over a few more.  Minor
+   words come from [Gc.minor_words] — it reads the allocation pointer,
+   where [quick_stat]'s minor figure only advances at minor collections,
+   so a small workload (table5's single migration) used to report 0.0.
+   Promoted words are subtracted from the major figure so it counts only
+   direct major-heap allocation. *)
+let alloc_reps = 4
+
 let alloc_of_run thunk =
   thunk ();
+  let minor0 = Gc.minor_words () in
   let before = Gc.quick_stat () in
-  thunk ();
+  for _ = 1 to alloc_reps do
+    thunk ()
+  done;
+  let minor1 = Gc.minor_words () in
   let after = Gc.quick_stat () in
-  ( after.Gc.minor_words -. before.Gc.minor_words,
-    after.Gc.major_words -. before.Gc.major_words
-    -. (after.Gc.promoted_words -. before.Gc.promoted_words) )
+  let per v = v /. float_of_int alloc_reps in
+  ( per (minor1 -. minor0),
+    per
+      (after.Gc.major_words -. before.Gc.major_words
+      -. (after.Gc.promoted_words -. before.Gc.promoted_words)) )
 
 let measure ~quota ~limit spec =
   let open Bechamel in
@@ -258,6 +275,100 @@ let run_bechamel ?only ~mode ~quota ~limit ~full ~json () =
   | Some path -> write_json ~mode path (List.map result_fields results)
   | None -> ()
 
+(* --- ab mode: paired frames-vs-cps engine comparison -------------- *)
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  s.(Array.length s / 2)
+
+(* One timed run under [engine]: wall-clock ns and minor words. *)
+let ab_sample engine thunk =
+  Cm_machine.Machine.set_default_engine engine;
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  thunk ();
+  let t1 = Unix.gettimeofday () in
+  ((t1 -. t0) *. 1e9, Gc.minor_words () -. m0)
+
+(* Paired A/B of the two thread engines in one process: repetitions
+   interleave frames/cps runs (so drift — frequency scaling, page cache,
+   GC heap shape — hits both variants alike) and the medians are
+   compared.  Where the spec exposes its machine, the two engines' run
+   digests are also compared — the whole-experiment complement of the
+   qcheck oracle in test/. *)
+let run_ab ~names ~json () =
+  print_endline "\n=== Paired A/B: frames vs cps engine (interleaved, median of 8) ===";
+  let reps = 8 in
+  let selected =
+    List.map
+      (fun name ->
+        match List.find_opt (fun s -> s.name = name) (specs ~full:true) with
+        | Some s -> s
+        | None ->
+          List.iter (fun s -> prerr_endline s.name) (specs ~full:true);
+          failwith ("no such spec: " ^ name))
+      names
+  in
+  let records =
+    List.map
+      (fun spec ->
+        (* Warm both variants before sampling. *)
+        ignore (ab_sample Cm_machine.Machine.Frames spec.thunk);
+        ignore (ab_sample Cm_machine.Machine.Cps spec.thunk);
+        let f_ns = Array.make reps 0. and f_mw = Array.make reps 0. in
+        let c_ns = Array.make reps 0. and c_mw = Array.make reps 0. in
+        for r = 0 to reps - 1 do
+          let ns, mw = ab_sample Cm_machine.Machine.Frames spec.thunk in
+          f_ns.(r) <- ns;
+          f_mw.(r) <- mw;
+          let ns, mw = ab_sample Cm_machine.Machine.Cps spec.thunk in
+          c_ns.(r) <- ns;
+          c_mw.(r) <- mw
+        done;
+        let digests_equal =
+          match spec.probe with
+          | None -> None
+          | Some probe ->
+            Cm_machine.Machine.set_default_engine Cm_machine.Machine.Frames;
+            let df = Cm_machine.Machine.digest (probe ()) in
+            Cm_machine.Machine.set_default_engine Cm_machine.Machine.Cps;
+            let dc = Cm_machine.Machine.digest (probe ()) in
+            Some (df = dc)
+        in
+        Cm_machine.Machine.set_default_engine Cm_machine.Machine.Frames;
+        let f_ns_med = median f_ns and c_ns_med = median c_ns in
+        let f_mw_med = median f_mw and c_mw_med = median c_mw in
+        let speedup = c_ns_med /. f_ns_med in
+        let minor_ratio = if c_mw_med > 0. then f_mw_med /. c_mw_med else 1. in
+        Printf.printf
+          "%-28s frames %10.0f ns %9.2e mw | cps %10.0f ns %9.2e mw | %5.2fx, minor x%.3f%s\n%!"
+          spec.name f_ns_med f_mw_med c_ns_med c_mw_med speedup minor_ratio
+          (match digests_equal with
+          | Some true -> "  digests equal"
+          | Some false -> "  DIGEST MISMATCH"
+          | None -> "");
+        (match digests_equal with
+        | Some false -> failwith ("ab: engine digests differ for " ^ spec.name)
+        | Some true | None -> ());
+        [
+          json_str "name" spec.name;
+          json_int "reps" reps;
+          json_float "frames_ns_median" f_ns_med;
+          json_float "cps_ns_median" c_ns_med;
+          json_float "frames_minor_words_median" f_mw_med;
+          json_float "cps_minor_words_median" c_mw_med;
+          json_float "speedup" speedup;
+          json_float "minor_words_ratio" minor_ratio;
+        ]
+        @
+        match digests_equal with
+        | Some b -> [ json_str "digests_equal" (string_of_bool b) ]
+        | None -> [])
+      selected
+  in
+  match json with Some path -> write_json ~mode:"ab" path records | None -> ()
+
 (* --- sweep mode: full-sweep wall clock at -j 1 vs -j N ------------ *)
 
 (* Run [f] with stdout sent to /dev/null: the sweep mode times whole
@@ -328,7 +439,8 @@ let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let json_arg default = if Array.length Sys.argv > 2 then Sys.argv.(2) else default in
   let quick = mode = "quick" in
-  if mode <> "bench" && mode <> "smoke" && mode <> "one" && mode <> "sweep" then begin
+  if mode <> "bench" && mode <> "smoke" && mode <> "one" && mode <> "sweep" && mode <> "ab"
+  then begin
     print_endline "Reproduction of every table and figure (see EXPERIMENTS.md for discussion):";
     Registry.run_all ~quick ()
   end;
@@ -336,8 +448,15 @@ let () =
   | "rows" -> ()
   | "bench" ->
     run_bechamel ~mode ~quota:3.0 ~limit:500 ~full:true
-      ~json:(Some (json_arg "BENCH_pr5.json"))
+      ~json:(Some (json_arg "BENCH_pr7.json"))
       ()
+  | "ab" ->
+    let names =
+      String.split_on_char ','
+        (json_arg "fig2:counting-throughput,table1:btree-throughput")
+    in
+    let json = if Array.length Sys.argv > 3 then Some Sys.argv.(3) else None in
+    run_ab ~names ~json ()
   | "smoke" ->
     (* Fast pass for CI: enough to catch gross hot-path regressions and
        prove the measurement/JSON plumbing works. *)

@@ -27,7 +27,18 @@ type bal = { mutable toggle : bool; top : Balancer_net.dest; bot : Balancer_net.
 type cnt = { mutable count : int; wire : int }
 
 type repr =
-  | Msg of { bals : bal Prelude.obj array; cnts : cnt Prelude.obj array; access : Prelude.access }
+  | Msg of {
+      bals : bal Prelude.obj array;
+      cnts : cnt Prelude.obj array;
+      access : Prelude.access;
+      (* Per-object method monads, built once here: a visit applies a
+         precomputed ['a Thread.t] to (ctx, k) instead of rebuilding the
+         invoke/call closure chain per hop, and the method bodies run
+         through the frame fast path — so the steady-state traversal
+         allocates nothing per visit. *)
+      bal_m : Balancer_net.dest Thread.t array;
+      cnt_m : int Thread.t array;
+    }
   | Sm of {
       bal_addr : int array;
       locks : Lock.t array;
@@ -40,7 +51,7 @@ type t = {
   net : Balancer_net.t;
   mode : mode;
   repr : repr;
-  mutable issued_rev : int list;  (* instrumentation: every value handed out *)
+  issued_rev : int list ref;  (* instrumentation: every value handed out *)
 }
 
 (* Shared-memory destination encoding: balancer ids are >= 0; exit wire
@@ -48,6 +59,52 @@ type t = {
 let encode = function Balancer_net.Balancer b -> b | Balancer_net.Exit w -> -(w + 1)
 
 let decode n = if n >= 0 then Balancer_net.Balancer n else Balancer_net.Exit (-n - 1)
+
+(* Method bodies for the messaging objects.  Each closes over its own
+   object's state once (at network construction); the per-visit path
+   charges the user work through the thread's frame slots — one
+   preallocated step closure per object, nothing per visit.  The CPS
+   branch is the original closure body, verbatim, for the reference
+   engine. *)
+let bal_method st =
+  let step c =
+    let out = if st.toggle then st.bot else st.top in
+    st.toggle <- not st.toggle;
+    Thread.Frame.call_k c out
+  in
+  fun c k ->
+    if Thread.Frame.on c then begin
+      Thread.Frame.save_k c k;
+      Thread.Frame.hold_then c user_work step
+    end
+    else
+      (let* () = Thread.compute user_work in
+       let out = if st.toggle then st.bot else st.top in
+       st.toggle <- not st.toggle;
+       Thread.return out)
+        c k
+
+let cnt_method issued w st =
+  let step c =
+    let count = st.count in
+    st.count <- st.count + 1;
+    let value = (count * w) + st.wire in
+    issued := value :: !issued;
+    Thread.Frame.call_k c value
+  in
+  fun c k ->
+    if Thread.Frame.on c then begin
+      Thread.Frame.save_k c k;
+      Thread.Frame.hold_then c user_work step
+    end
+    else
+      (let* () = Thread.compute user_work in
+       let count = st.count in
+       st.count <- st.count + 1;
+       let value = (count * w) + st.wire in
+       issued := value :: !issued;
+       Thread.return value)
+        c k
 
 let create env ?(width = 8) ?(sm_sync = Lock_per_balancer) ?(lock_backoff = (512, 4096))
     ?balancer_procs mode =
@@ -62,19 +119,25 @@ let create env ?(width = 8) ?(sm_sync = Lock_per_balancer) ?(lock_backoff = (512
     | None -> Array.init n (fun i -> i mod n_procs)
   in
   let counter_proc w = procs.(Balancer_net.feeder_of_exit net w) in
+  let issued_rev = ref [] in
   let repr =
     match mode with
     | Messaging access ->
+      let prelude = env.Sysenv.prelude in
       let bals =
         Array.init n (fun b ->
             let top, bot = Balancer_net.outputs net b in
-            Prelude.make_obj env.Sysenv.prelude ~home:procs.(b) { toggle = false; top; bot })
+            Prelude.make_obj prelude ~home:procs.(b) { toggle = false; top; bot })
       in
       let cnts =
         Array.init width (fun w ->
-            Prelude.make_obj env.Sysenv.prelude ~home:(counter_proc w) { count = 0; wire = w })
+            Prelude.make_obj prelude ~home:(counter_proc w) { count = 0; wire = w })
       in
-      Msg { bals; cnts; access }
+      let bal_m = Array.map (fun o -> Prelude.invoke_site prelude ~access o bal_method) bals in
+      let cnt_m =
+        Array.map (fun o -> Prelude.invoke_site prelude ~access o (cnt_method issued_rev width)) cnts
+      in
+      Msg { bals; cnts; access; bal_m; cnt_m }
     | Shared_memory ->
       let mem = Sysenv.mem env in
       let bal_addr =
@@ -95,7 +158,7 @@ let create env ?(width = 8) ?(sm_sync = Lock_per_balancer) ?(lock_backoff = (512
       let cnt_addr = Array.init width (fun w -> Shmem.alloc mem ~home:(counter_proc w) ~words:1) in
       Sm { bal_addr; locks; cnt_addr; sync = sm_sync }
   in
-  { env; net; mode; repr; issued_rev = [] }
+  { env; net; mode; repr; issued_rev }
 
 let width t = Balancer_net.width t.net
 
@@ -103,33 +166,20 @@ let n_balancers t = Balancer_net.n_balancers t.net
 
 let mode t = t.mode
 
-let record t v = t.issued_rev <- v :: t.issued_rev
+let record t v = t.issued_rev := v :: !(t.issued_rev)
 
-let traverse_msg t ~bals ~cnts ~access ~input_wire =
+let traverse_msg t ~bal_m ~cnt_m ~input_wire =
   let prelude = t.env.Sysenv.prelude in
-  let w = width t in
-  Prelude.proc prelude
-    (let rec go dest =
-       match dest with
-       | Balancer_net.Balancer b ->
-         let* next =
-           Prelude.invoke prelude ~access bals.(b) (fun st ->
-               let* () = Thread.compute user_work in
-               let out = if st.toggle then st.bot else st.top in
-               st.toggle <- not st.toggle;
-               Thread.return out)
-         in
-         go next
-       | Balancer_net.Exit wire ->
-         Prelude.invoke prelude ~access cnts.(wire) (fun st ->
-             let* () = Thread.compute user_work in
-             let count = st.count in
-             st.count <- st.count + 1;
-             let value = (count * w) + st.wire in
-             record t value;
-             Thread.return value)
-     in
-     go (Balancer_net.input t.net input_wire))
+  let first = Balancer_net.input t.net input_wire in
+  Prelude.proc prelude (fun c k ->
+      (* One cursor closure per traversal; each hop applies the
+         balancer's precomputed method monad directly. *)
+      let rec step dest =
+        match dest with
+        | Balancer_net.Balancer b -> bal_m.(b) c step
+        | Balancer_net.Exit wire -> cnt_m.(wire) c k
+      in
+      step first)
 
 let traverse_sm t ~bal_addr ~locks ~cnt_addr ~sync ~input_wire =
   let mem = Sysenv.mem t.env in
@@ -171,7 +221,7 @@ let traverse t ~input_wire =
   if input_wire < 0 || input_wire >= width t then
     invalid_arg "Counting_network.traverse: bad input wire";
   match t.repr with
-  | Msg { bals; cnts; access } -> traverse_msg t ~bals ~cnts ~access ~input_wire
+  | Msg { bal_m; cnt_m; _ } -> traverse_msg t ~bal_m ~cnt_m ~input_wire
   | Sm { bal_addr; locks; cnt_addr; sync } ->
     traverse_sm t ~bal_addr ~locks ~cnt_addr ~sync ~input_wire
 
@@ -184,4 +234,4 @@ let tokens_delivered t = Array.fold_left ( + ) 0 (output_counts t)
 
 let satisfies_step_property t = Balancer_net.step_property ~counts:(output_counts t)
 
-let values_issued t = List.rev t.issued_rev
+let values_issued t = List.rev !(t.issued_rev)

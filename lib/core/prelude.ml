@@ -1,6 +1,5 @@
 open Cm_machine
 open Cm_runtime
-open Thread.Infix
 
 type t = { rt : Runtime.t }
 
@@ -29,12 +28,23 @@ let default_result_words = 2
 
 let invoke t ~access ?(args_words = default_args_words) ?(result_words = default_result_words) o
     m =
-  Runtime.call t.rt ~access ~home:o.home ~args_words ~result_words
-    (let* p = Thread.proc in
-     (* Instance methods always execute at the invoked object (Prelude's
-        calling convention); the runtime guarantees this. *)
-     assert (Processor.id p = o.home);
-     m o.state)
+  Runtime.call t.rt ~access ~home:o.home ~args_words ~result_words (fun c k ->
+      (* Instance methods always execute at the invoked object (Prelude's
+         calling convention); the runtime guarantees this. *)
+      assert (Processor.id (Thread.Frame.proc c) = o.home);
+      m o.state c k)
+
+let invoke_site t ~access ?(args_words = default_args_words)
+    ?(result_words = default_result_words) o m =
+  (* The method is bound to its object's state once, here; what repeats
+     per call is only the fused site invocation (see [Runtime.site]). *)
+  let body = m o.state in
+  let checked c k =
+    assert (Processor.id (Thread.Frame.proc c) = o.home);
+    body c k
+  in
+  Runtime.site_call
+    (Runtime.site t.rt ~access ~home:o.home ~args_words ~result_words checked)
 
 let proc t ?at_base ?(result_words = default_result_words) body =
   Runtime.scope t.rt ?at_base ~result_words body

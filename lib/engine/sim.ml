@@ -146,6 +146,8 @@ let events_fired t = t.fired
 
 (* --- handler table -------------------------------------------------- *)
 
+let nil_handler = -1
+
 let handler t f =
   if t.n_handlers = Array.length t.handlers then begin
     let cap = max 8 (2 * Array.length t.handlers) in

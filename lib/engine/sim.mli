@@ -53,6 +53,11 @@ val handler : t -> (int -> unit) -> hid
 (** [handler t f] registers [f] in [t]'s handler table (typically once,
     at subsystem construction) and returns its id. *)
 
+val nil_handler : hid
+(** A handler id registered with no simulator, for initializing slots
+    before the real registration happens (knot-tying constructors).
+    Posting it raises [Invalid_argument]. *)
+
 val post : t -> time:int -> hid -> int -> unit
 (** [post t ~time h arg] schedules handler [h] to run with [arg] at
     absolute cycle [time].  Raises [Invalid_argument] if [time] is in the

@@ -15,10 +15,15 @@ let run_with_machine scheme config =
   in
   let env = Sysenv.make machine in
   let cn = Counting_network.create env (Scheme.counting_mode scheme) in
-  let request i =
-    Cm_machine.Thread.ignore_m
-      (Counting_network.traverse cn ~input_wire:(i mod Counting_network.width cn))
+  (* One traversal monad per input wire, built once: a ['a Thread.t] is a
+     function of (ctx, k), so re-running it replays the traversal without
+     rebuilding the invoke/scope closure chain per request. *)
+  let w = Counting_network.width cn in
+  let traversals =
+    Array.init w (fun wire ->
+        Cm_machine.Thread.ignore_m (Counting_network.traverse cn ~input_wire:wire))
   in
+  let request i = traversals.(i mod w) in
   let metrics =
     Cm_workload.Driver.run machine
       {

@@ -1,5 +1,19 @@
 open Cm_engine
 
+type engine = Frames | Cps
+
+(* The process-wide default, read by [create] when no explicit engine is
+   given: atomic because the sweep harness runs machines across a domain
+   pool, and the paired A/B bench mode flips it between interleaved
+   repetitions. *)
+let default_engine_cell : engine Atomic.t = Atomic.make Frames (* lint: allow global-state — cross-domain engine default, vetted *)
+
+let set_default_engine e = Atomic.set default_engine_cell e
+
+let default_engine () = Atomic.get default_engine_cell
+
+let engine_name = function Frames -> "frames" | Cps -> "cps"
+
 type t = {
   sim : Sim.t;
   costs : Costs.t;
@@ -8,12 +22,14 @@ type t = {
   procs : Processor.t array;
   stats : Stats.t;
   rng : Rng.t;
+  engine : engine;
+  eng : Thread.engine;
   mutable next_tid : int;
   mutable transport_ : Transport.t option;
 }
 
-let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ?(wheel_bits = 12) ~n_procs
-    ~costs () =
+let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ?(wheel_bits = 12) ?engine
+    ~n_procs ~costs () =
   if n_procs <= 0 then invalid_arg "Machine.create: n_procs must be positive";
   (* Contended multi-hop sends routinely exceed the 256-cycle default wheel,
      spilling onto the overflow heap; 4096 one-cycle buckets keep nearly every
@@ -32,7 +48,21 @@ let create ?(seed = 42) ?(topology = `Mesh) ?(net_contention = false) ?(wheel_bi
     Array.init n_procs (fun id ->
         Processor.create ~sim ~stats ~scheduler_cost:costs.Costs.scheduler ~id)
   in
-  { sim; costs; topo; net; procs; stats; rng = Rng.create ~seed; next_tid = 0; transport_ = None }
+  let engine = match engine with Some e -> e | None -> default_engine () in
+  let eng = match engine with Frames -> Thread.frames_engine () | Cps -> Thread.cps_engine () in
+  {
+    sim;
+    costs;
+    topo;
+    net;
+    procs;
+    stats;
+    rng = Rng.create ~seed;
+    engine;
+    eng;
+    next_tid = 0;
+    transport_ = None;
+  }
 
 let n_procs t = Array.length t.procs
 
@@ -41,17 +71,17 @@ let proc t i =
     invalid_arg (Printf.sprintf "Machine.proc: %d out of range [0,%d)" i (Array.length t.procs));
   t.procs.(i)
 
-let spawn t ~on ?(on_exit = fun () -> ()) body =
+let spawn t ~on ?on_exit body =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
-  Thread.spawn ~tid ~rng:(Rng.split t.rng) ~on_exit:(fun () -> on_exit ()) (proc t on) body
+  Thread.spawn ~tid ~rng:(Rng.split t.rng) ?on_exit ~engine:t.eng (proc t on) body
 
 let transport t =
   match t.transport_ with
   | Some tr -> tr
   | None ->
     let tr =
-      Transport.create ~sim:t.sim ~costs:t.costs ~net:t.net ~procs:t.procs
+      Transport.create ~sim:t.sim ~costs:t.costs ~net:t.net ~procs:t.procs ~eng:t.eng
         ~spawn:(fun ~on body -> spawn t ~on body)
     in
     t.transport_ <- Some tr;

@@ -7,6 +7,22 @@
 
 open Cm_engine
 
+(** Which thread-suspension engine a machine runs (see {!Thread.engine}):
+    [Frames] is the defunctionalized zero-allocation default, [Cps] the
+    original closure-per-suspension reference.  Digests are bit-identical
+    between the two (the qcheck oracle in test/ proves it); [Cps] exists
+    for that oracle and for paired A/B benchmarks. *)
+type engine = Frames | Cps
+
+val set_default_engine : engine -> unit
+(** Set the process-wide default for machines created without an
+    explicit [engine] (atomic — safe under the sweep harness's domain
+    pool; the A/B bench mode flips it between interleaved reps). *)
+
+val default_engine : unit -> engine
+
+val engine_name : engine -> string
+
 type t = {
   sim : Sim.t;
   costs : Costs.t;
@@ -15,6 +31,8 @@ type t = {
   procs : Processor.t array;
   stats : Stats.t;
   rng : Rng.t;
+  engine : engine;  (** the variant this machine was created with *)
+  eng : Thread.engine;  (** internal: the live engine state threads share *)
   mutable next_tid : int;  (** internal: spawn counter *)
   mutable transport_ : Transport.t option;  (** internal: see {!transport} *)
 }
@@ -24,6 +42,7 @@ val create :
   ?topology:[ `Mesh | `Torus | `Crossbar ] ->
   ?net_contention:bool ->
   ?wheel_bits:int ->
+  ?engine:engine ->
   n_procs:int ->
   costs:Costs.t ->
   unit ->
@@ -35,7 +54,9 @@ val create :
     network model (see {!Network.create}).  [wheel_bits] (default 12)
     sizes the scheduler's calendar wheel (see {!Sim.create}); it affects
     performance only — extraction order, and therefore every statistic
-    and digest, is identical at any size. *)
+    and digest, is identical at any size.  [engine] picks the thread
+    engine (defaults to {!default_engine}, normally [Frames]); digests
+    are engine-invariant. *)
 
 val n_procs : t -> int
 (** Number of processors. *)

@@ -29,8 +29,6 @@ type t = {
   words_c : Stats.counter;
   messages_c : Stats.counter;
   contended_c : Stats.counter;
-  mutable words : int;
-  mutable messages : int;
 }
 
 let create ?(contention = false) ?(link_bandwidth = 1) ~sim ~topo ~costs ~stats () =
@@ -59,8 +57,6 @@ let create ?(contention = false) ?(link_bandwidth = 1) ~sim ~topo ~costs ~stats 
     words_c = Stats.counter stats "net.words";
     messages_c = Stats.counter stats "net.messages";
     contended_c = Stats.counter stats "net.contended_cycles";
-    words = 0;
-    messages = 0;
   }
 
 let kind t name =
@@ -115,8 +111,6 @@ let accounted_latency t ~src ~dst ~words ~kind =
     end
     else Costs.transit t.costs ~hops:(Topology.hops t.topo ~src ~dst) ~words
   in
-  t.words <- t.words + wire_words;
-  t.messages <- t.messages + 1;
   Stats.Counter.add t.words_c wire_words;
   Stats.Counter.incr t.messages_c;
   Stats.Counter.add kind.k_words wire_words;
@@ -140,9 +134,11 @@ let post_k t ~src ~dst ~words ~kind ~hid ~arg =
 
 let send t ~src ~dst ~words ~kind:name deliver = send_k t ~src ~dst ~words ~kind:(kind t name) deliver
 
-let total_words t = t.words
+(* The totals are the interned counters — the per-message path updates
+   exactly one tally per figure. *)
+let total_words t = Stats.Counter.get t.words_c
 
-let total_messages t = t.messages
+let total_messages t = Stats.Counter.get t.messages_c
 
 (* Per-kind queries go through the interned kind record: no string
    rebuild or registry hash per call, and a never-sent kind still reads
@@ -152,4 +148,4 @@ let words_of_kind t name = Stats.Counter.get (kind t name).k_words
 let messages_of_kind t name = Stats.Counter.get (kind t name).k_messages
 
 let bandwidth_per_10_cycles t ~now =
-  if now = 0 then 0. else 10. *. float_of_int t.words /. float_of_int now
+  if now = 0 then 0. else 10. *. float_of_int (total_words t) /. float_of_int now

@@ -10,8 +10,12 @@
     processor — emerges from this queueing, which is the effect the paper's
     Section 4.2 analyses.
 
-    The ready queue is a ring buffer and dispatch events are pooled by the
-    simulator, so the enqueue/dispatch/release cycle allocates nothing. *)
+    The ready queue is a ring buffer of (continuation, argument) pairs
+    and dispatch events are pooled by the simulator, so the
+    enqueue/dispatch/release cycle allocates nothing — including waking a
+    thread with a value ({!enqueue_app}) and delayed wakeups, which park
+    the continuation in a pooled slot ({!enqueue_app_after}) instead of
+    capturing it in a closure. *)
 
 open Cm_engine
 
@@ -33,10 +37,31 @@ val enqueue : t -> (unit -> unit) -> unit
     the continuation chain it schedules via {!hold}) must eventually call
     {!release}. *)
 
+val enqueue_app : t -> ('a -> unit) -> 'a -> unit
+(** [enqueue_app p k v] is [enqueue p (fun () -> k v)] without building
+    the wrapper: the continuation and its argument are stored side by
+    side in the ring and applied at dispatch.  The zero-allocation wakeup
+    path of the thread layer's frame engine. *)
+
+val enqueue_after : t -> delay:int -> (unit -> unit) -> unit
+(** [enqueue_after p ~delay task] enqueues [task] after [delay] cycles
+    have elapsed.  The wait is a pooled park slot plus a pooled simulator
+    event — no closure; event timing and ordering are identical to
+    [Sim.after _ delay (fun () -> enqueue p task)]. *)
+
+val enqueue_app_after : t -> delay:int -> ('a -> unit) -> 'a -> unit
+(** {!enqueue_after} carrying a value, as {!enqueue_app}. *)
+
 val hold : t -> int -> (unit -> unit) -> unit
 (** [hold p n k] keeps the CPU busy for [n >= 0] cycles, then runs [k]
     (still holding the CPU).  Must only be called by the task currently
     owning the CPU. *)
+
+val hold_post : t -> int -> Sim.hid -> int -> unit
+(** [hold_post p n hid arg] is {!hold} delivering to a pooled handler
+    occurrence [(hid, arg)] instead of a closure: the scheduled event
+    carries ints only, so the hot hold path stores no pointer into the
+    event pool.  Identical event time and ordering to {!hold}. *)
 
 val charge : t -> int -> unit
 (** [charge p n] accounts [n] already-elapsed cycles as busy time without
@@ -62,3 +87,15 @@ val busy_cycles : t -> int
 
 val utilization : t -> now:int -> float
 (** [utilization p ~now] is [busy_cycles / now] (0 when [now = 0]). *)
+
+(** {1 Pool introspection} — for tests asserting pool growth and slot
+    reuse; not part of the simulation semantics. *)
+
+val parked : t -> int
+(** Number of continuations currently waiting in the park pool. *)
+
+val park_capacity : t -> int
+(** Current capacity of the park pool (grows by doubling, never shrinks). *)
+
+val ring_capacity : t -> int
+(** Current capacity of the ready ring. *)

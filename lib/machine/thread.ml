@@ -1,6 +1,106 @@
 open Cm_engine
 
-type ctx = { thread_id : int; mutable location : Processor.t; stream : Rng.t }
+(* --- engines --------------------------------------------------------
+
+   Two interchangeable execution engines drive a thread's blocking
+   points:
+
+   - the {e frame} engine (default): suspensions are defunctionalized
+     into the per-thread frame slots below — a suspension stores a step
+     function and its operands into the context and hands the scheduler
+     one of two closures preallocated at spawn, so the steady state
+     allocates nothing;
+
+   - the {e CPS} engine: the original closure-per-suspension paths,
+     retained verbatim as the reference semantics for the qcheck
+     digest-equivalence oracle and the paired A/B benchmark mode.
+
+   Both engines schedule the same events at the same times in the same
+   order, so run digests are bit-identical by construction (the oracle
+   in test/ proves it).  The frame paths are disabled dynamically —
+   falling back to the CPS reference — in two situations:
+
+   - sanitizers on ([Check.enabled]): the CPS paths carry the
+     [Check.linear] one-shot tokens with their original labels, so
+     double-resume detection and sanitizer digests are exactly the
+     pre-frame behavior;
+
+   - transport fault injection armed: duplicate delivery may invoke a
+     resumption twice, and a shared frame-slot resumption would
+     misdirect the second call at whatever the thread blocked on next —
+     the CPS closures reproduce the original (per-suspension) behavior
+     exactly.  [Transport.configure_faults] flips the machine's engine
+     off and [clear_faults] restores it. *)
+
+type engine = { mutable frames_ok : bool; frames_wanted : bool }
+
+let cps_engine () = { frames_ok = false; frames_wanted = false }
+
+let frames_engine () = { frames_ok = true; frames_wanted = true }
+
+let disable_frames e = e.frames_ok <- false
+
+let restore_frames e = e.frames_ok <- e.frames_wanted
+
+let frames_enabled e = e.frames_ok
+
+let obj_unit : Obj.t = Obj.repr 0
+
+(* Field order is load-bearing for performance only: OCaml lays record
+   fields out in declaration order, and a steady-state suspension touches
+   [location], the engine gate, the op/continuation slots, and the two
+   scheduler closures — putting those first packs the whole hot set into
+   the record's leading cache lines.  Cold identity/bookkeeping fields
+   trail. *)
+type ctx = {
+  mutable location : Processor.t;
+  eng : engine;
+  (* Defunctionalized continuation frame.  A thread is sequential, so at
+     any instant it has at most one pending suspension: one set of slots
+     per context suffices, reused across every suspension of the
+     thread's life.  Ownership convention (see DESIGN.md §15):
+     [f_op]/[f_kop]/[f_k] plus [f_dst]/[f_i0]/[f_after] belong to the
+     thread layer; [f_v0..f_v2]/[f_i1..f_i2]/[f_after2] to the transport
+     chain in flight; [f_v3]/[f_i3] to the consumer driving it
+     (runtime/objmig/shmem). *)
+  mutable f_op : ctx -> unit;
+  mutable f_kop : ctx -> Obj.t -> unit;
+  mutable f_k : Obj.t;
+  mutable f_v0 : Obj.t;
+  (* The two scheduler-facing closures, preallocated at spawn: every
+     frame suspension re-points [f_op]/[f_kop] and hands one of these
+     out, so resuming allocates nothing. *)
+  mutable run_op : unit -> unit;
+  mutable run_kop : Obj.t -> unit;
+  (* The thread's pooled [Sim] handler, registered once at spawn: frame
+     holds and network deliveries post (op_hid, 0) instead of storing
+     [run_op] into the event, so the steady-state event pool carries only
+     ints — no closure store (and no write barrier) per event. *)
+  mutable op_hid : Sim.hid;
+  mutable f_dst : Processor.t;
+  mutable f_i0 : int;
+  mutable f_after : ctx -> unit;
+  mutable f_after2 : ctx -> unit;
+  mutable f_i1 : int;
+  mutable f_i2 : int;
+  mutable f_i3 : int;
+  mutable f_v1 : Obj.t;
+  mutable f_v2 : Obj.t;
+  mutable f_v3 : Obj.t;
+  thread_id : int;
+  stream : Rng.t;
+  exit_fn : Obj.t -> unit;  (* on_exit, shared by every exit of this thread *)
+  mutable run_exit : Obj.t -> unit;
+}
+
+let nop_op (_ : ctx) = ()
+
+let nop_kop (_ : ctx) (_ : Obj.t) = ()
+
+(* The frame fast paths fire only when the engine allows them and the
+   sanitizers are off: under [Check] the CPS reference paths run, with
+   their original one-shot guard tokens and labels. *)
+let frame_on c = c.eng.frames_ok && not (Check.enabled ())
 
 type 'a t = ctx -> ('a -> unit) -> unit
 
@@ -16,8 +116,6 @@ module Infix = struct
   let ( >>= ) = bind
 end
 
-open Infix
-
 let tid c k = k c.thread_id
 
 let proc c k = k c.location
@@ -32,8 +130,10 @@ let yield c k =
   Processor.release p
 
 let sleep n c k =
+  (* Identical event timing and ordering for both engines: the wait is a
+     pooled park slot, not a closure (see Processor.enqueue_after). *)
   let p = c.location in
-  Sim.after (Processor.sim p) n (fun () -> Processor.enqueue p k);
+  Processor.enqueue_after p ~delay:n k;
   Processor.release p
 
 (* Sanitizer shim: when [Check] is on, wrap a resumption in a one-shot
@@ -44,13 +144,35 @@ let guard what c f =
     Check.linear ~what:(Printf.sprintf "tid %d: %s" c.thread_id what) f
   else f
 
-let await register c k =
+(* --- await ---------------------------------------------------------- *)
+
+let await_step c (v : Obj.t) =
+  Processor.enqueue_app c.location (Obj.obj c.f_k : Obj.t -> unit) v
+
+let await_cps register c k =
   let p = c.location in
   register
     ~resume:(guard "Thread.await resume" c (fun v -> Processor.enqueue p (fun () -> k v)));
   Processor.release p
 
-let stall register c k =
+let await register c k =
+  if frame_on c then begin
+    let p = c.location in
+    c.f_k <- Obj.repr k;
+    c.f_kop <- await_step;
+    register ~resume:(Obj.magic c.run_kop : _ -> unit);
+    Processor.release p
+  end
+  else await_cps register c k
+
+(* --- stall ---------------------------------------------------------- *)
+
+let stall_step c (v : Obj.t) =
+  let p = c.location in
+  Processor.charge p (Sim.now (Processor.sim p) - c.f_i0);
+  (Obj.obj c.f_k : Obj.t -> unit) v
+
+let stall_cps register c k =
   let p = c.location in
   let start = Sim.now (Processor.sim p) in
   register
@@ -59,7 +181,47 @@ let stall register c k =
            Processor.charge p (Sim.now (Processor.sim p) - start);
            k v))
 
-let travel_k ~net ~dst ~words ~kind ~recv_work c k =
+let stall register c k =
+  if frame_on c then begin
+    c.f_i0 <- Sim.now (Processor.sim c.location);
+    c.f_k <- Obj.repr k;
+    c.f_kop <- stall_step;
+    register ~resume:(Obj.magic c.run_kop : _ -> unit)
+  end
+  else stall_cps register c k
+
+(* --- travel --------------------------------------------------------- *)
+
+(* Frame migration runs in three steps through [run_op], scheduling the
+   exact events of the CPS reference: network delivery re-enqueues the
+   thread at the destination; dispatch rebinds the location and holds
+   the CPU for the receive-pipeline work; then the completion op
+   ([f_after]) runs, still holding the CPU. *)
+let travel_arrive c =
+  let dst = c.f_dst in
+  c.location <- dst;
+  c.f_op <- c.f_after;
+  Processor.hold_post dst c.f_i0 c.op_hid 0
+
+let travel_deliver c =
+  c.f_op <- travel_arrive;
+  Processor.enqueue c.f_dst c.run_op
+
+let frame_travel ~net ~dst ~words ~kind ~recv_work ~after c =
+  let src = c.location in
+  c.f_dst <- dst;
+  c.f_i0 <- recv_work;
+  c.f_after <- after;
+  c.f_op <- travel_deliver;
+  let (_ : int) =
+    Network.post_k net ~src:(Processor.id src) ~dst:(Processor.id dst) ~words ~kind
+      ~hid:c.op_hid ~arg:0
+  in
+  Processor.release src
+
+let travel_finish c = (Obj.obj c.f_k : unit -> unit) ()
+
+let travel_k_cps ~net ~dst ~words ~kind ~recv_work c k =
   let src = c.location in
   let deliver =
     guard "Thread.travel delivery" c (fun () ->
@@ -72,39 +234,191 @@ let travel_k ~net ~dst ~words ~kind ~recv_work c k =
   in
   Processor.release src
 
+let travel_k ~net ~dst ~words ~kind ~recv_work c k =
+  if frame_on c then begin
+    c.f_k <- Obj.repr k;
+    frame_travel ~net ~dst ~words ~kind ~recv_work ~after:travel_finish c
+  end
+  else travel_k_cps ~net ~dst ~words ~kind ~recv_work c k
+
 let travel ~net ~dst ~words ~kind ~recv_work c k =
   travel_k ~net ~dst ~words ~kind:(Network.kind net kind) ~recv_work c k
+
+(* --- spawning ------------------------------------------------------- *)
+
+let default_exit (_ : Obj.t) = ()
+
+(* First dispatch of a fresh thread: the body and its finish
+   continuation were parked in the (otherwise untouched) frame slots at
+   spawn, so starting a thread enqueues no closure. *)
+let start_step c =
+  let body = (Obj.obj c.f_v0 : ctx -> (Obj.t -> unit) -> unit) in
+  let fin = (Obj.obj c.f_k : Obj.t -> unit) in
+  c.f_v0 <- obj_unit;
+  c.f_k <- obj_unit;
+  body c fin
 
 (* Tid assignment belongs to the machine instance (Machine.spawn numbers
    threads from a per-machine counter): a process-global fallback here
    used to bleed tids — and with them the default RNG seeds — from one
    run into the next within a process, and would race across pool
    domains.  Callers now always say which tid they mean. *)
-let spawn ~tid ?rng ?(on_exit = fun _ -> ()) p body =
+let spawn ~tid ?rng ?on_exit ?engine p body =
   let thread_id = tid in
   let stream = match rng with Some r -> r | None -> Rng.create ~seed:(thread_id + 1) in
-  let c = { thread_id; location = p; stream } in
-  let finish =
-    guard "Thread.spawn exit" c (fun v ->
-        on_exit v;
-        Processor.release c.location)
+  let eng = match engine with Some e -> e | None -> frames_engine () in
+  let exit_fn =
+    match on_exit with Some f -> (Obj.magic f : Obj.t -> unit) | None -> default_exit
   in
-  Processor.enqueue p (fun () -> body c finish)
+  let c =
+    {
+      thread_id;
+      location = p;
+      stream;
+      eng;
+      exit_fn;
+      f_op = nop_op;
+      f_kop = nop_kop;
+      f_k = obj_unit;
+      f_dst = p;
+      f_i0 = 0;
+      f_after = nop_op;
+      f_after2 = nop_op;
+      f_i1 = 0;
+      f_i2 = 0;
+      f_i3 = 0;
+      f_v0 = obj_unit;
+      f_v1 = obj_unit;
+      f_v2 = obj_unit;
+      f_v3 = obj_unit;
+      run_op = ignore;
+      run_kop = ignore;
+      op_hid = Sim.nil_handler;
+      run_exit = ignore;
+    }
+  in
+  c.run_op <- (fun () -> c.f_op c);
+  c.run_kop <- (fun v -> c.f_kop c v);
+  c.op_hid <- Sim.handler (Processor.sim p) (fun _ -> c.f_op c);
+  c.run_exit <-
+    (fun v ->
+      c.exit_fn v;
+      Processor.release c.location);
+  let finish : Obj.t -> unit =
+    if Check.enabled () then
+      guard "Thread.spawn exit" c (fun v ->
+          c.exit_fn v;
+          Processor.release c.location)
+    else c.run_exit
+  in
+  c.f_v0 <- Obj.repr body;
+  c.f_k <- Obj.repr finish;
+  c.f_op <- start_step;
+  Processor.enqueue p c.run_op
 
-let rec iter_list f = function
+(* --- loop combinators ----------------------------------------------
+
+   The recursion is threaded through one mutable cursor and one closure
+   per loop instead of a fresh bind closure per iteration.  Evaluation
+   timing matches the bind-chain originals: the first [f i] (or [cond])
+   runs when the loop value is built, subsequent ones right before the
+   iteration they produce. *)
+
+let iter_list f = function
   | [] -> return ()
   | x :: rest ->
-    let* () = f x in
-    iter_list f rest
+    let m0 = f x in
+    fun c k ->
+      let cur = ref rest in
+      let rec step () =
+        match !cur with
+        | [] -> k ()
+        | y :: tl ->
+          cur := tl;
+          f y c step
+      in
+      m0 c step
 
 let repeat n f =
-  let rec go i = if i >= n then return () else let* () = f i in go (i + 1) in
-  go 0
+  if n <= 0 then return ()
+  else
+    let m0 = f 0 in
+    fun c k ->
+      let i = ref 1 in
+      let rec step () =
+        let j = !i in
+        if j >= n then k ()
+        else begin
+          i := j + 1;
+          f j c step
+        end
+      in
+      m0 c step
 
-let rec while_ cond body =
-  if cond () then
-    let* () = body in
-    while_ cond body
-  else return ()
+let while_ cond body =
+  if not (cond ()) then return ()
+  else
+    fun c k ->
+    let rec again () = if cond () then body c again else k () in
+    body c again
 
 let ignore_m m c k = m c (fun _ -> k ())
+
+(* --- the frame calling convention, for transport and consumers ------ *)
+
+module Frame = struct
+  type nonrec ctx = ctx
+
+  let on = frame_on
+
+  let proc c = c.location
+
+  let save_k c (k : 'a -> unit) = c.f_k <- Obj.repr k
+
+  let take_k c = (Obj.obj c.f_k : Obj.t -> unit)
+
+  let call_k c (v : 'a) = (Obj.obj c.f_k : Obj.t -> unit) (Obj.repr v)
+
+  let setv0 c v = c.f_v0 <- Obj.repr v
+  let setv1 c v = c.f_v1 <- Obj.repr v
+  let setv2 c v = c.f_v2 <- Obj.repr v
+  let setv3 c v = c.f_v3 <- Obj.repr v
+
+  let getv0 c = Obj.obj c.f_v0
+  let getv1 c = Obj.obj c.f_v1
+  let getv2 c = Obj.obj c.f_v2
+  let getv3 c = Obj.obj c.f_v3
+
+  let seti1 c i = c.f_i1 <- i
+  let seti2 c i = c.f_i2 <- i
+  let seti3 c i = c.f_i3 <- i
+
+  let geti1 c = c.f_i1
+  let geti2 c = c.f_i2
+  let geti3 c = c.f_i3
+
+  let set_after2 c op = c.f_after2 <- op
+
+  let run_after2 c = c.f_after2 c
+
+  let hold_then c n op =
+    c.f_op <- op;
+    Processor.hold_post c.location n c.op_hid 0
+
+  let enqueue_then c op =
+    c.f_op <- op;
+    Processor.enqueue c.location c.run_op
+
+  let resume c step =
+    c.f_kop <- step;
+    (Obj.magic c.run_kop : _ -> unit)
+
+  let stall_k c =
+    c.f_i0 <- Sim.now (Processor.sim c.location);
+    c.f_kop <- stall_step;
+    (Obj.magic c.run_kop : _ -> unit)
+
+  let travel = frame_travel
+
+  let release c = Processor.release c.location
+end

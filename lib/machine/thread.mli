@@ -15,7 +15,36 @@
 open Cm_engine
 
 type ctx
-(** A thread's identity and current location. *)
+(** A thread's identity and current location, plus its reusable
+    continuation frame (see {!Frame}). *)
+
+(** {1 Execution engines}
+
+    Two interchangeable engines drive a thread's blocking points: the
+    default {e frame} engine defunctionalizes suspensions into pooled
+    per-thread frame slots (zero steady-state allocation), while the
+    {e CPS} engine is the original closure-per-suspension reference,
+    retained for the digest-equivalence oracle and paired A/B
+    benchmarks.  Both schedule identical events — run digests are
+    bit-identical.  The frame paths fall back to the CPS reference
+    dynamically while sanitizers ([Check]) or transport fault injection
+    are active. *)
+
+type engine
+
+val frames_engine : unit -> engine
+(** A fresh engine with the frame fast paths enabled (the default). *)
+
+val cps_engine : unit -> engine
+(** A fresh engine forcing the CPS reference paths. *)
+
+val disable_frames : engine -> unit
+(** Dynamically force the CPS paths (used while faults are armed). *)
+
+val restore_frames : engine -> unit
+(** Undo {!disable_frames}, restoring the engine's configured variant. *)
+
+val frames_enabled : engine -> bool
 
 type 'a t = ctx -> ('a -> unit) -> unit
 (** A computation producing an ['a], parameterized by the thread context
@@ -102,6 +131,7 @@ val spawn :
   tid:int ->
   ?rng:Rng.t ->
   ?on_exit:('a -> unit) ->
+  ?engine:engine ->
   Processor.t ->
   'a t ->
   unit
@@ -112,7 +142,10 @@ val spawn :
     per-machine counter), never by process-global state, so tids — and
     the default per-thread RNG seeds derived from them — restart at
     every [Machine.create] and cannot bleed across runs or domains.
-    When [rng] is omitted the stream is seeded with [tid + 1]. *)
+    When [rng] is omitted the stream is seeded with [tid + 1].  [engine]
+    selects the execution engine (a fresh frame engine when omitted);
+    [Machine.spawn] passes its machine's engine so fault gating applies
+    to every thread of the machine. *)
 
 (** {1 Combinators} *)
 
@@ -129,3 +162,103 @@ val while_ : (unit -> bool) -> unit t -> unit t
 
 val ignore_m : 'a t -> unit t
 (** [ignore_m m] runs [m] and discards its result. *)
+
+(** {1 The frame calling convention}
+
+    Direct-style access to a thread's continuation frame, for the
+    transport layer and its consumers (runtime, object migration, the
+    shared-memory controllers) to build zero-allocation suspension
+    chains.  A {e step} is a statically-allocated [ctx -> unit] (or
+    [ctx -> Obj.t -> unit]) function reading its operands from the frame
+    slots; suspending stores the step and operands and hands the
+    scheduler one of the two closures preallocated at spawn.
+
+    Discipline (DESIGN.md §15): slots are only valid across {e one}
+    suspension — every step must read what it needs into locals before
+    starting the next blocking operation.  [v0..v2]/[i1..i2]/[after2]
+    belong to the transport chain in flight, [v3]/[i3] to the consumer
+    that initiated it.  Value slots are [Obj]-packed: a [setvN]/[getvN]
+    pair must agree on the type, exactly as {!Processor.enqueue_app}
+    pairs a continuation with its argument. *)
+
+module Frame : sig
+  type nonrec ctx = ctx
+
+  val on : ctx -> bool
+  (** Whether the frame fast paths may be used for this thread right
+      now (frame engine, sanitizers off).  When false, callers must take
+      their CPS reference path. *)
+
+  val proc : ctx -> Processor.t
+  (** The thread's current processor (valid for either engine). *)
+
+  val save_k : ctx -> ('a -> unit) -> unit
+  (** Park the operation's final continuation in the frame. *)
+
+  val take_k : ctx -> (Obj.t -> unit)
+  (** Read back the parked continuation (to apply it to a value of the
+      type it was saved with). *)
+
+  val call_k : ctx -> 'a -> unit
+  (** Apply the parked continuation. *)
+
+  val setv0 : ctx -> 'v -> unit
+  val setv1 : ctx -> 'v -> unit
+  val setv2 : ctx -> 'v -> unit
+  val setv3 : ctx -> 'v -> unit
+  val getv0 : ctx -> 'v
+  val getv1 : ctx -> 'v
+  val getv2 : ctx -> 'v
+  val getv3 : ctx -> 'v
+  val seti1 : ctx -> int -> unit
+  val seti2 : ctx -> int -> unit
+  val seti3 : ctx -> int -> unit
+  val geti1 : ctx -> int
+  val geti2 : ctx -> int
+  val geti3 : ctx -> int
+
+  val set_after2 : ctx -> (ctx -> unit) -> unit
+  (** Park a completion step surviving a whole transport operation
+      (e.g. what to run once a migration has landed). *)
+
+  val run_after2 : ctx -> unit
+
+  val hold_then : ctx -> int -> (ctx -> unit) -> unit
+  (** [hold_then c n step] charges [n] CPU cycles at the current
+      processor, then runs [step c], still holding the CPU — the frame
+      equivalent of [compute n >>= step]. *)
+
+  val enqueue_then : ctx -> (ctx -> unit) -> unit
+  (** [enqueue_then c step] requeues the thread at its current processor
+      and runs [step c] once dispatched (CPU held) — what an {!await}
+      resumption does.  For use from event context, where the CPU is not
+      held. *)
+
+  val resume : ctx -> (ctx -> Obj.t -> unit) -> ('a -> unit)
+  (** [resume c step] installs [step] as the pending resumption and
+      returns the thread's preallocated resume closure: invoking it with
+      [v] runs [step c v].  The frame equivalent of an {!await}
+      registration's [~resume] argument (the caller is responsible for
+      releasing the CPU, as {!await} does). *)
+
+  val stall_k : ctx -> ('a -> unit)
+  (** [stall_k c] is {!resume} specialized to {!stall} semantics: the
+      stalled cycles are charged as busy time when the resumption fires,
+      then the continuation parked with {!save_k} runs with the value. *)
+
+  val travel :
+    net:Network.t ->
+    dst:Processor.t ->
+    words:int ->
+    kind:Network.kind ->
+    recv_work:int ->
+    after:(ctx -> unit) ->
+    ctx ->
+    unit
+  (** Frame migration: exactly {!travel_k}'s events (send, re-enqueue at
+      [dst], receive-pipeline hold), with [after] running at the
+      destination holding the CPU.  Releases the source CPU. *)
+
+  val release : ctx -> unit
+  (** Release the thread's current CPU (ends a dispatch segment). *)
+end

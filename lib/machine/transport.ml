@@ -37,12 +37,15 @@ type 'a kind = {
   mutable f_spec : fault option;
 }
 
+let obj_unit : Obj.t = Obj.repr 0
+
 type t = {
   sim : Sim.t;
   costs : Costs.t;
   net : Network.t;
   n_procs : int;
   spawn : on:int -> unit Thread.t -> unit;
+  eng : Thread.engine;  (* the owning machine's engine: faults force CPS *)
   xstats : Stats.t;
   mutable kind_names : string list;  (* distinct labels, declaration order (reversed) *)
   mutable faults_on : bool;
@@ -53,23 +56,22 @@ type t = {
      with the owning kind's dropped counter (a cancelled delivery counts
      as dropped so the in-flight accounting stays closed). *)
   mutable delay_timers : (Sim.token * Stats.counter) list;
+  (* Pooled arrival frames: with faults off, every dispatch/signal
+     arrival is an int slot posted through [arrive_hid] — the per-message
+     arrive closure of the original path, defunctionalized.  [af_code]
+     selects the action: 0 runs [af_fn] as a thunk, 1 applies [af_fn] to
+     [af_arg] (reply resumptions carry the value, not a wrapper), 2
+     dispatches [af_arg] as an endpoint payload. *)
+  mutable af_kind : Obj.t array;
+  mutable af_fn : Obj.t array;
+  mutable af_arg : Obj.t array;
+  mutable af_code : int array;
+  mutable af_dst : int array;
+  mutable af_words : int array;
+  mutable af_free : int array;
+  mutable af_free_top : int;
+  mutable arrive_hid : Sim.hid;
 }
-
-let create ~sim ~costs ~net ~procs ~spawn =
-  {
-    sim;
-    costs;
-    net;
-    n_procs = Array.length procs;
-    spawn;
-    xstats = Stats.create ();
-    kind_names = [];
-    faults_on = false;
-    fault_specs = [];
-    fault_gen = 0;
-    frng = Rng.create ~seed:0;
-    delay_timers = [];
-  }
 
 let intern_ctrs t name =
   if not (List.mem name t.kind_names) then t.kind_names <- name :: t.kind_names;
@@ -106,6 +108,18 @@ let kind t ?(recv = Recv_pipeline) name =
 
 let kind_name k = k.ctrs.c_name
 
+(* Accounting accessors for external frame-path fast paths (the
+   runtime's fused call sites): exactly the counter traffic [migrate_f]'s
+   steps perform, exposed so a caller that already holds the per-site
+   constants need not round-trip them through the frame slots. *)
+let net_kind k = k.net_k
+
+let account_posted k = Stats.Counter.incr k.ctrs.posted_c
+
+let account_delivered k ~pid =
+  Stats.Counter.incr k.ctrs.delivered_c;
+  k.ep_delivered.(pid) <- k.ep_delivered.(pid) + 1
+
 module Endpoint = struct
   let register t ~proc ~kind handler =
     if proc < 0 || proc >= t.n_procs then
@@ -126,16 +140,22 @@ end
 (* Fault injection                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Arming faults forces every thread of the machine onto the CPS
+   reference paths: a duplicated delivery may invoke a resumption twice,
+   and the original per-suspension closures reproduce that behavior
+   exactly, where a shared frame slot would misdirect the second call. *)
 let configure_faults t ~seed specs =
   t.fault_specs <- specs;
   t.faults_on <- specs <> [];
   t.fault_gen <- t.fault_gen + 1;
-  t.frng <- Rng.create ~seed
+  t.frng <- Rng.create ~seed;
+  if t.faults_on then Thread.disable_frames t.eng else Thread.restore_frames t.eng
 
 let clear_faults t =
   t.fault_specs <- [];
   t.faults_on <- false;
-  t.fault_gen <- t.fault_gen + 1
+  t.fault_gen <- t.fault_gen + 1;
+  Thread.restore_frames t.eng
 
 let faults_active t = t.faults_on
 
@@ -156,8 +176,8 @@ let fault_hits t p = p > 0.0 && Rng.float t.frng 1.0 < p
 
 (* Send one [k] message; [deliver] runs at arrival, after the delivery
    counters are bumped.  Returns the wire latency ([0] for a dropped
-   message).  The fault-free path is two counter bumps around
-   [Network.send_k] — no draws, no extra events. *)
+   message).  This is the fault/general path — the fault-free senders
+   below post a pooled arrival frame instead and never build [arrive]. *)
 let transmit t (k : _ kind) ~src ~dst ~words deliver =
   Stats.Counter.incr k.ctrs.posted_c;
   let arrive () =
@@ -198,7 +218,144 @@ let transmit t (k : _ kind) ~src ~dst ~words deliver =
         latency
       end
 
-let dispatch t (k : 'a kind) ~src ~dst ~words payload =
+(* --- pooled arrival frames ----------------------------------------- *)
+
+let af_grow t =
+  let cap = Array.length t.af_code in
+  let ncap = 2 * cap in
+  let copy_obj (a : Obj.t array) =
+    let n = Array.make ncap obj_unit in
+    Array.blit a 0 n 0 cap;
+    n
+  in
+  let copy_int (a : int array) =
+    let n = Array.make ncap 0 in
+    Array.blit a 0 n 0 cap;
+    n
+  in
+  t.af_kind <- copy_obj t.af_kind;
+  t.af_fn <- copy_obj t.af_fn;
+  t.af_arg <- copy_obj t.af_arg;
+  t.af_code <- copy_int t.af_code;
+  t.af_dst <- copy_int t.af_dst;
+  t.af_words <- copy_int t.af_words;
+  t.af_free <- copy_int t.af_free;
+  for i = 0 to cap - 1 do
+    t.af_free.(t.af_free_top + i) <- cap + i
+  done;
+  t.af_free_top <- t.af_free_top + cap
+
+(* Post one fault-free message whose arrival action is described by a
+   pooled frame slot: counter bumps and the action dispatch happen in
+   the transport-wide [arrive_hid] handler, so the send path allocates
+   nothing.  Latency accounting and event ordering are identical to
+   [transmit]'s closure path ([Network.post_k] = [send_k]). *)
+let send_pooled t (k : _ kind) ~src ~dst ~words ~code ~fn ~arg =
+  Stats.Counter.incr k.ctrs.posted_c;
+  if t.af_free_top = 0 then af_grow t;
+  t.af_free_top <- t.af_free_top - 1;
+  let slot = t.af_free.(t.af_free_top) in
+  t.af_kind.(slot) <- Obj.repr k;
+  t.af_fn.(slot) <- fn;
+  t.af_arg.(slot) <- arg;
+  t.af_code.(slot) <- code;
+  t.af_dst.(slot) <- dst;
+  t.af_words.(slot) <- words;
+  let (_ : int) =
+    Network.post_k t.net ~src ~dst ~words ~kind:k.net_k ~hid:t.arrive_hid ~arg:slot
+  in
+  ()
+
+(* Receive-pipeline charge in front of an endpoint handler.  The frame
+   path parks the handler and payload in the fresh thread's slots; the
+   CPS path is the bind chain of the original dispatch. *)
+let recv_step c =
+  let handler : Obj.t -> unit Thread.t = Thread.Frame.getv0 c in
+  let payload : Obj.t = Thread.Frame.getv1 c in
+  let k : unit -> unit = Obj.magic (Thread.Frame.take_k c) in
+  handler payload c k
+
+let recv_piped cost (handler : Obj.t -> unit Thread.t) (payload : Obj.t) : unit Thread.t =
+ fun c kont ->
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c kont;
+    Thread.Frame.setv0 c handler;
+    Thread.Frame.setv1 c payload;
+    Thread.Frame.hold_then c cost recv_step
+  end
+  else Thread.compute cost c (fun () -> handler payload c kont)
+
+(* Arrival action of a code-2 frame: look up the endpoint and start the
+   handler thread, charging reception per the kind's [recv] mode. *)
+let deliver_payload t (k : Obj.t kind) ~dst ~words (payload : Obj.t) =
+  match k.handlers.(dst) with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Transport: no %S endpoint registered at processor %d" k.ctrs.c_name dst)
+  | Some handler -> (
+    match k.recv with
+    | Recv_bare -> t.spawn ~on:dst (handler payload)
+    | Recv_pipeline ->
+      t.spawn ~on:dst
+        (recv_piped (Costs.recv_pipeline t.costs ~words ~new_thread:true) handler payload))
+
+let af_arrive t slot =
+  let k : Obj.t kind = Obj.obj t.af_kind.(slot) in
+  let fn = t.af_fn.(slot) in
+  let arg = t.af_arg.(slot) in
+  let code = t.af_code.(slot) in
+  let dst = t.af_dst.(slot) in
+  let words = t.af_words.(slot) in
+  t.af_kind.(slot) <- obj_unit;
+  t.af_fn.(slot) <- obj_unit;
+  t.af_arg.(slot) <- obj_unit;
+  t.af_free.(t.af_free_top) <- slot;
+  t.af_free_top <- t.af_free_top + 1;
+  Stats.Counter.incr k.ctrs.delivered_c;
+  k.ep_delivered.(dst) <- k.ep_delivered.(dst) + 1;
+  if code = 0 then (Obj.obj fn : unit -> unit) ()
+  else if code = 1 then (Obj.obj fn : Obj.t -> unit) arg
+  else deliver_payload t k ~dst ~words arg
+
+let create ~sim ~costs ~net ~procs ~spawn ~eng =
+  let self = ref None in
+  let t =
+    {
+      sim;
+      costs;
+      net;
+      n_procs = Array.length procs;
+      spawn;
+      eng;
+      xstats = Stats.create ();
+      kind_names = [];
+      faults_on = false;
+      fault_specs = [];
+      fault_gen = 0;
+      frng = Rng.create ~seed:0;
+      delay_timers = [];
+      af_kind = Array.make 16 obj_unit;
+      af_fn = Array.make 16 obj_unit;
+      af_arg = Array.make 16 obj_unit;
+      af_code = Array.make 16 0;
+      af_dst = Array.make 16 0;
+      af_words = Array.make 16 0;
+      af_free = Array.init 16 (fun i -> i);
+      af_free_top = 16;
+      arrive_hid = Sim.handler sim (fun _ -> assert false);
+    }
+  in
+  let hid =
+    Sim.handler sim (fun slot ->
+        match !self with Some t -> af_arrive t slot | None -> assert false)
+  in
+  t.arrive_hid <- hid;
+  self := Some t;
+  t
+
+(* --- raw sends ------------------------------------------------------ *)
+
+let dispatch_slow t (k : 'a kind) ~src ~dst ~words payload =
   let deliver () =
     match k.handlers.(dst) with
     | None ->
@@ -218,9 +375,21 @@ let dispatch t (k : 'a kind) ~src ~dst ~words payload =
   let (_ : int) = transmit t k ~src ~dst ~words deliver in
   ()
 
-let signal t k ~src ~dst ~words deliver =
+let dispatch t (k : 'a kind) ~src ~dst ~words payload =
+  if t.faults_on then dispatch_slow t k ~src ~dst ~words payload
+  else send_pooled t k ~src ~dst ~words ~code:2 ~fn:obj_unit ~arg:(Obj.repr payload)
+
+let signal_slow t k ~src ~dst ~words deliver =
   let (_ : int) = transmit t k ~src ~dst ~words deliver in
   ()
+
+let signal t k ~src ~dst ~words deliver =
+  if t.faults_on then signal_slow t k ~src ~dst ~words deliver
+  else send_pooled t k ~src ~dst ~words ~code:0 ~fn:(Obj.repr deliver) ~arg:obj_unit
+
+let signal_app t k ~src ~dst ~words (fn : 'a -> unit) (v : 'a) =
+  if t.faults_on then signal_slow t k ~src ~dst ~words (fun () -> fn v)
+  else send_pooled t k ~src ~dst ~words ~code:1 ~fn:(Obj.repr fn) ~arg:(Obj.repr v)
 
 (* Payload-free injection is the per-message hot path of the coherence
    controllers (several messages per miss): with faults off it posts the
@@ -253,21 +422,94 @@ let cancel_pending_delays t =
 (* Monadic senders                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let post t k ~dst ~words payload =
+(* Each sender has a frame fast path (statically-allocated steps over
+   the thread's frame slots — see Thread.Frame) and the original CPS
+   monad, kept verbatim in the [_cps] sibling as the reference engine.
+   Both schedule identical events; the oracle in test/ compares their
+   digests. *)
+
+let post_cps t k ~dst ~words payload =
   let* p = Thread.proc in
   let* () = Thread.compute (Costs.send_pipeline t.costs ~words) in
   fun _ctx kont ->
     dispatch t k ~src:(Processor.id p) ~dst ~words payload;
     kont ()
 
-let notify t k ~dst ~words deliver =
+let post_step c =
+  let t : t = Thread.Frame.getv0 c in
+  let k : Obj.t kind = Thread.Frame.getv1 c in
+  let payload : Obj.t = Thread.Frame.getv2 c in
+  let dst = Thread.Frame.geti1 c in
+  let words = Thread.Frame.geti2 c in
+  dispatch t k ~src:(Processor.id (Thread.Frame.proc c)) ~dst ~words payload;
+  Thread.Frame.call_k c ()
+
+let post t k ~dst ~words payload c kont =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c kont;
+    Thread.Frame.setv0 c t;
+    Thread.Frame.setv1 c k;
+    Thread.Frame.setv2 c payload;
+    Thread.Frame.seti1 c dst;
+    Thread.Frame.seti2 c words;
+    Thread.Frame.hold_then c (Costs.send_pipeline t.costs ~words) post_step
+  end
+  else post_cps t k ~dst ~words payload c kont
+
+let notify_cps t k ~dst ~words deliver =
   let* p = Thread.proc in
   let* () = Thread.compute (Costs.send_pipeline t.costs ~words) in
   fun _ctx kont ->
     signal t k ~src:(Processor.id p) ~dst ~words deliver;
     kont ()
 
-let call t ~req ~reply ~dst ~args_words ~result_words body =
+let notify_step c =
+  let t : t = Thread.Frame.getv0 c in
+  let k : Obj.t kind = Thread.Frame.getv1 c in
+  let deliver : unit -> unit = Thread.Frame.getv2 c in
+  let dst = Thread.Frame.geti1 c in
+  let words = Thread.Frame.geti2 c in
+  signal t k ~src:(Processor.id (Thread.Frame.proc c)) ~dst ~words deliver;
+  Thread.Frame.call_k c ()
+
+let notify t k ~dst ~words deliver c kont =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c kont;
+    Thread.Frame.setv0 c t;
+    Thread.Frame.setv1 c k;
+    Thread.Frame.setv2 c deliver;
+    Thread.Frame.seti1 c dst;
+    Thread.Frame.seti2 c words;
+    Thread.Frame.hold_then c (Costs.send_pipeline t.costs ~words) notify_step
+  end
+  else notify_cps t k ~dst ~words deliver c kont
+
+let notify_app_step c =
+  let t : t = Thread.Frame.getv0 c in
+  let k : Obj.t kind = Thread.Frame.getv1 c in
+  let fn : Obj.t -> unit = Thread.Frame.getv2 c in
+  let v : Obj.t = Thread.Frame.getv3 c in
+  let dst = Thread.Frame.geti1 c in
+  let words = Thread.Frame.geti2 c in
+  signal_app t k ~src:(Processor.id (Thread.Frame.proc c)) ~dst ~words fn v;
+  Thread.Frame.call_k c ()
+
+let notify_app t k ~dst ~words (fn : 'a -> unit) (v : 'a) c kont =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c kont;
+    Thread.Frame.setv0 c t;
+    Thread.Frame.setv1 c k;
+    Thread.Frame.setv2 c fn;
+    Thread.Frame.setv3 c v;
+    Thread.Frame.seti1 c dst;
+    Thread.Frame.seti2 c words;
+    Thread.Frame.hold_then c (Costs.send_pipeline t.costs ~words) notify_app_step
+  end
+  else notify_cps t k ~dst ~words (fun () -> fn v) c kont
+
+(* --- call: full RPC ------------------------------------------------- *)
+
+let call_cps t ~req ~reply ~dst ~args_words ~result_words body =
   let* caller = Thread.proc in
   let caller_id = Processor.id caller in
   (* Client stub: marshal and send the request, then block.  The server
@@ -285,7 +527,91 @@ let call t ~req ~reply ~dst ~args_words ~result_words body =
   let* () = Thread.compute (Costs.recv_pipeline t.costs ~words:result_words ~new_thread:false) in
   Thread.return r
 
-let migrate t k ~dst ~words ~fresh =
+(* Server side of a frame-path reply: after the body finished, charge
+   the sender pipeline at wherever it ended up, then signal the caller's
+   resumption applied to the result — no reply wrapper closure. *)
+let server_reply_step c =
+  let resume : Obj.t -> unit = Thread.Frame.getv0 c in
+  let r : Obj.t = Thread.Frame.getv1 c in
+  let t : t = Thread.Frame.getv2 c in
+  let reply : Obj.t kind = Thread.Frame.getv3 c in
+  let caller = Thread.Frame.geti1 c in
+  let words = Thread.Frame.geti2 c in
+  signal_app t reply ~src:(Processor.id (Thread.Frame.proc c)) ~dst:caller ~words resume r;
+  Thread.Frame.call_k c ()
+
+(* The request payload: one closure per call (it crosses the wire and
+   must survive the server body clobbering the server thread's frame
+   slots), plus the reply continuation it builds when the body
+   finishes. *)
+let server_stub t (reply : Obj.t kind) caller_id result_words (resume : Obj.t -> unit)
+    (body : Obj.t Thread.t) : unit Thread.t =
+ fun sc sk ->
+  body sc (fun r ->
+      if Thread.Frame.on sc then begin
+        Thread.Frame.save_k sc sk;
+        Thread.Frame.setv0 sc resume;
+        Thread.Frame.setv1 sc r;
+        Thread.Frame.setv2 sc t;
+        Thread.Frame.setv3 sc reply;
+        Thread.Frame.seti1 sc caller_id;
+        Thread.Frame.seti2 sc result_words;
+        Thread.Frame.hold_then sc (Costs.send_pipeline t.costs ~words:result_words)
+          server_reply_step
+      end
+      else notify_cps t reply ~dst:caller_id ~words:result_words (fun () -> resume r) sc sk)
+
+let call_done_step c =
+  let r : Obj.t = Thread.Frame.getv0 c in
+  Thread.Frame.call_k c r
+
+let call_recv_step c =
+  let t : t = Thread.Frame.getv1 c in
+  let words = Thread.Frame.geti3 c in
+  Thread.Frame.hold_then c
+    (Costs.recv_pipeline t.costs ~words ~new_thread:false)
+    call_done_step
+
+(* Runs from the network event delivering the reply: park the result and
+   requeue the caller, exactly as an [await] resumption would; reception
+   is charged after dispatch. *)
+let call_reply_step c (r : Obj.t) =
+  Thread.Frame.setv0 c r;
+  Thread.Frame.enqueue_then c call_recv_step
+
+let call_send_step c =
+  let body : Obj.t Thread.t = Thread.Frame.getv0 c in
+  let t : t = Thread.Frame.getv1 c in
+  let req : unit Thread.t kind = Thread.Frame.getv2 c in
+  let reply : Obj.t kind = Thread.Frame.getv3 c in
+  let dst = Thread.Frame.geti1 c in
+  let args_words = Thread.Frame.geti2 c in
+  let result_words = Thread.Frame.geti3 c in
+  let caller_id = Processor.id (Thread.Frame.proc c) in
+  (* [t] stays in v1 and [result_words] in i3 for the reply step; the
+     other slots are dead once the stub is built. *)
+  let resume = Thread.Frame.resume c call_reply_step in
+  dispatch t req ~src:caller_id ~dst ~words:args_words
+    (server_stub t reply caller_id result_words resume body);
+  Thread.Frame.release c
+
+let call t ~req ~reply ~dst ~args_words ~result_words body c kont =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c kont;
+    Thread.Frame.setv0 c body;
+    Thread.Frame.setv1 c t;
+    Thread.Frame.setv2 c req;
+    Thread.Frame.setv3 c reply;
+    Thread.Frame.seti1 c dst;
+    Thread.Frame.seti2 c args_words;
+    Thread.Frame.seti3 c result_words;
+    Thread.Frame.hold_then c (Costs.send_pipeline t.costs ~words:args_words) call_send_step
+  end
+  else call_cps t ~req ~reply ~dst ~args_words ~result_words body c kont
+
+(* --- migrate: ship the current continuation ------------------------- *)
+
+let migrate_cps t k ~dst ~words ~fresh =
   let* p = Thread.proc in
   let* () = Thread.compute (Costs.send_pipeline t.costs ~words) in
   let* sent =
@@ -316,6 +642,42 @@ let migrate t k ~dst ~words ~fresh =
       let d = Processor.id dst in
       k.ep_delivered.(d) <- k.ep_delivered.(d) + 1;
       kont ()
+
+let mig_done_step c =
+  let k : Obj.t kind = Thread.Frame.getv0 c in
+  Stats.Counter.incr k.ctrs.delivered_c;
+  let d = Processor.id (Thread.Frame.proc c) in
+  k.ep_delivered.(d) <- k.ep_delivered.(d) + 1;
+  Thread.Frame.run_after2 c
+
+let mig_send_step c =
+  let k : Obj.t kind = Thread.Frame.getv0 c in
+  let t : t = Thread.Frame.getv1 c in
+  let dst : Processor.t = Thread.Frame.getv2 c in
+  let words = Thread.Frame.geti1 c in
+  let fresh = Thread.Frame.geti2 c = 1 in
+  Stats.Counter.incr k.ctrs.posted_c;
+  Thread.Frame.travel ~net:t.net ~dst ~words ~kind:k.net_k
+    ~recv_work:(Costs.recv_pipeline t.costs ~words ~new_thread:fresh)
+    ~after:mig_done_step c
+
+let migrate_f t k ~dst ~words ~fresh ~after c =
+  Thread.Frame.setv0 c k;
+  Thread.Frame.setv1 c t;
+  Thread.Frame.setv2 c dst;
+  Thread.Frame.seti1 c words;
+  Thread.Frame.seti2 c (if fresh then 1 else 0);
+  Thread.Frame.set_after2 c after;
+  Thread.Frame.hold_then c (Costs.send_pipeline t.costs ~words) mig_send_step
+
+let mig_kont_step c = Thread.Frame.call_k c ()
+
+let migrate t k ~dst ~words ~fresh c kont =
+  if Thread.Frame.on c && not t.faults_on then begin
+    Thread.Frame.save_k c kont;
+    migrate_f t k ~dst ~words ~fresh ~after:mig_kont_step c
+  end
+  else migrate_cps t k ~dst ~words ~fresh c kont
 
 (* ------------------------------------------------------------------ *)
 (* Accounting                                                         *)

@@ -37,11 +37,16 @@ val create :
   net:Network.t ->
   procs:Processor.t array ->
   spawn:(on:int -> unit Thread.t -> unit) ->
+  eng:Thread.engine ->
   t
-(** [create ~sim ~costs ~net ~procs ~spawn] is a transport sending over
-    [net] and starting handler threads through [spawn] (the machine's
-    deterministic spawner, so handler threads draw tids and rng streams
-    exactly as directly-spawned ones do). *)
+(** [create ~sim ~costs ~net ~procs ~spawn ~eng] is a transport sending
+    over [net] and starting handler threads through [spawn] (the
+    machine's deterministic spawner, so handler threads draw tids and rng
+    streams exactly as directly-spawned ones do).  [eng] is the owning
+    machine's thread engine: arming fault injection forces its threads
+    onto the CPS reference paths (a duplicated delivery may fire a
+    resumption twice, which shared frame slots cannot represent), and
+    disarming restores them. *)
 
 (** {1 Message kinds and endpoints} *)
 
@@ -72,6 +77,18 @@ val kind : t -> ?recv:recv -> string -> 'a kind
 
 val kind_name : _ kind -> string
 (** The label [kind] was declared under. *)
+
+val net_kind : _ kind -> Network.kind
+(** The pre-interned network-level kind messages of [kind] travel as. *)
+
+val account_posted : _ kind -> unit
+(** Bump [kind]'s posted counter — the send-side accounting {!migrate_f}
+    performs, for frame-path callers that drive {!Thread.Frame.travel}
+    themselves (see {!Cm_runtime.Runtime.site_call}). *)
+
+val account_delivered : _ kind -> pid:int -> unit
+(** Bump [kind]'s delivered counter and processor [pid]'s endpoint
+    tally — the arrival-side accounting of {!migrate_f}'s chain. *)
 
 module Endpoint : sig
   val register : t -> proc:int -> kind:'a kind -> ('a -> unit Thread.t) -> unit
@@ -106,6 +123,12 @@ val notify : t -> _ kind -> dst:int -> words:int -> (unit -> unit) -> unit Threa
     caller charges its own reception, cf. [recv_pipeline
     ~new_thread:false]). *)
 
+val notify_app : t -> _ kind -> dst:int -> words:int -> ('a -> unit) -> 'a -> unit Thread.t
+(** [notify_app t k ~dst ~words f v] is [notify t k ~dst ~words (fun () ->
+    f v)] without the wrapper closure: the pooled arrival frame carries
+    [f] and [v] separately and applies them at delivery.  The reply path
+    for resumptions that take a value (e.g. object-migration replies). *)
+
 val call :
   t ->
   req:unit Thread.t kind ->
@@ -134,6 +157,20 @@ val migrate : t -> _ kind -> dst:Processor.t -> words:int -> fresh:bool -> unit 
     applies to migrations (the continuation is lost with the message);
     duplicate/delay are ignored. *)
 
+val migrate_f :
+  t ->
+  _ kind ->
+  dst:Processor.t ->
+  words:int ->
+  fresh:bool ->
+  after:(Thread.Frame.ctx -> unit) ->
+  Thread.Frame.ctx ->
+  unit
+(** Direct-style {!migrate} for frame-path consumers: charges the sender
+    pipeline, travels, and runs [after] at the destination holding the
+    CPU.  Only valid when [Thread.Frame.on] holds for the context (which
+    implies faults are off — arming faults disables the frames). *)
+
 (** {1 Raw operations (event context)} *)
 
 val dispatch : t -> 'a kind -> src:int -> dst:int -> words:int -> 'a -> unit
@@ -147,6 +184,11 @@ val signal : t -> _ kind -> src:int -> dst:int -> words:int -> (unit -> unit) ->
 (** [signal t k ~src ~dst ~words f] injects a message whose delivery
     runs [f] directly from the network event, as {!notify} but without
     the sender-pipeline charge. *)
+
+val signal_app : t -> _ kind -> src:int -> dst:int -> words:int -> ('a -> unit) -> 'a -> unit
+(** [signal_app t k ~src ~dst ~words f v] is [signal] of [fun () -> f v]
+    without allocating the wrapper: the pooled arrival frame carries [f]
+    and [v] separately. *)
 
 val inject : t -> _ kind -> src:int -> dst:int -> words:int -> int
 (** [inject t k ~src ~dst ~words] injects a payload-only message (the

@@ -48,6 +48,17 @@ type coh_counters = {
   evict_clean_c : Stats.counter;
 }
 
+(* Pooled wait slots for transaction-completion resumptions: a stalled
+   access parks its resumption function and value in a slot and
+   schedules the pool's handler, instead of closing a [fun () -> resume
+   value] over a [Sim.at] closure event. *)
+type waitpool = {
+  mutable wfn : Obj.t array;  (* Obj.t -> unit *)
+  mutable wv : Obj.t array;
+  mutable wfree : int array;
+  mutable wtop : int;
+}
+
 type t = {
   machine : Machine.t;
   tp : Transport.t;
@@ -62,7 +73,42 @@ type t = {
   mutable brk : int;  (* allocation cursor, in lines *)
   kinds : coh_kinds;
   ctrs : coh_counters;
+  wp : waitpool;
+  wait_hid : Sim.hid;
 }
+
+let wp_obj_unit : Obj.t = Obj.repr 0
+
+let wp_fire wp slot =
+  let fn : Obj.t -> unit = Obj.obj wp.wfn.(slot) in
+  let v = wp.wv.(slot) in
+  wp.wfn.(slot) <- wp_obj_unit;
+  wp.wv.(slot) <- wp_obj_unit;
+  wp.wfree.(wp.wtop) <- slot;
+  wp.wtop <- wp.wtop + 1;
+  fn v
+
+let wp_alloc wp =
+  if wp.wtop = 0 then begin
+    let cap = Array.length wp.wfree in
+    let ncap = 2 * cap in
+    let copy_obj (a : Obj.t array) =
+      let n = Array.make ncap wp_obj_unit in
+      Array.blit a 0 n 0 cap;
+      n
+    in
+    wp.wfn <- copy_obj wp.wfn;
+    wp.wv <- copy_obj wp.wv;
+    let nf = Array.make ncap 0 in
+    Array.blit wp.wfree 0 nf 0 cap;
+    wp.wfree <- nf;
+    for k = 0 to cap - 1 do
+      wp.wfree.(k) <- cap + k
+    done;
+    wp.wtop <- cap
+  end;
+  wp.wtop <- wp.wtop - 1;
+  wp.wfree.(wp.wtop)
 
 (* Placeholder for slots in [lines] at or beyond [brk]; never read
    because [info_exn] bounds-checks against [brk] and [alloc] overwrites
@@ -79,6 +125,15 @@ let create ?(config = default_config) machine =
   let tp = Machine.transport machine in
   let stats = machine.Machine.stats in
   let coh name = Transport.kind tp ~recv:Transport.Recv_bare name in
+  let wp =
+    {
+      wfn = Array.make 8 wp_obj_unit;
+      wv = Array.make 8 wp_obj_unit;
+      wfree = Array.init 8 (fun k -> k);
+      wtop = 8;
+    }
+  in
+  let wait_hid = Sim.handler machine.Machine.sim (fun slot -> wp_fire wp slot) in
   {
     machine;
     tp;
@@ -106,6 +161,8 @@ let create ?(config = default_config) machine =
         evict_wb_c = Stats.counter stats "coh.evict_wb";
         evict_clean_c = Stats.counter stats "coh.evict_clean";
       };
+    wp;
+    wait_hid;
   }
 
 let config t = t.cfg
@@ -336,20 +393,30 @@ let owned_data t pid line =
    issued while an earlier transaction is in flight queues behind it.
    This serialization of hot write-shared lines bounds e.g. how fast a
    balancer lock can be handed between processors. *)
-let resume_after_transaction t line ~exclusive lat k =
+let finish_time t line ~exclusive lat =
   let info = info_exn t line in
   let now = Sim.now (sim t) in
   if exclusive then begin
     let start = max now info.busy_until in
     let finish = start + lat in
     info.busy_until <- finish;
-    Sim.at (sim t) finish k
+    finish
   end
-  else begin
+  else
     (* Reads still queue behind a pending exclusive transfer. *)
-    let finish = max (now + lat) info.busy_until in
-    Sim.at (sim t) finish k
-  end
+    max (now + lat) info.busy_until
+
+let resume_after_transaction t line ~exclusive lat k =
+  Sim.at (sim t) (finish_time t line ~exclusive lat) k
+
+(* Frame-path completion: park the resumption and its value in a pooled
+   wait slot — same fire time, no closure and no closure event. *)
+let resume_app t line ~exclusive lat (fn : Obj.t -> unit) (v : Obj.t) =
+  let finish = finish_time t line ~exclusive lat in
+  let slot = wp_alloc t.wp in
+  t.wp.wfn.(slot) <- Obj.repr fn;
+  t.wp.wv.(slot) <- v;
+  Sim.post_after (sim t) ~delay:(finish - Sim.now (sim t)) t.wait_hid slot
 
 open Thread.Infix
 
@@ -357,7 +424,7 @@ let with_pid (f : int -> 'a Thread.t) : 'a Thread.t =
   let* p = Thread.proc in
   f (Processor.id p)
 
-let read t a =
+let read_cps t a =
   let line = line_of t a and off = offset_of t a in
   with_pid (fun pid ->
       let cache = t.caches.(pid) in
@@ -373,9 +440,35 @@ let read t a =
             let value = (info_exn t line).mem.(off) in
             resume_after_transaction t line ~exclusive:false lat (fun () -> resume value)))
 
+let read_step c =
+  let t : t = Thread.Frame.getv3 c in
+  let a = Thread.Frame.geti3 c in
+  let line = line_of t a and off = offset_of t a in
+  let pid = Processor.id (Thread.Frame.proc c) in
+  let cache = t.caches.(pid) in
+  match Cache.lookup cache ~line with
+  | Some (_, data) ->
+    Cache.record_hit cache;
+    Thread.Frame.call_k c data.(off)
+  | None ->
+    Cache.record_miss cache;
+    let resume : Obj.t -> unit = Thread.Frame.stall_k c in
+    let lat = read_miss t pid line in
+    let value = (info_exn t line).mem.(off) in
+    resume_app t line ~exclusive:false lat resume (Obj.repr value)
+
+let read t a c k =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c k;
+    Thread.Frame.setv3 c t;
+    Thread.Frame.seti3 c a;
+    Thread.Frame.hold_then c t.cfg.hit_cost read_step
+  end
+  else read_cps t a c k
+
 (* Obtain Modified ownership of [a]'s line, then atomically apply
    [mutate] to the cached copy.  Shared by [write] and [rmw]. *)
-let exclusive_update t a (mutate : int array -> int -> 'r) : 'r Thread.t =
+let exclusive_update_cps t a (mutate : int array -> int -> 'r) : 'r Thread.t =
   let line = line_of t a and off = offset_of t a in
   with_pid (fun pid ->
       let cache = t.caches.(pid) in
@@ -393,14 +486,67 @@ let exclusive_update t a (mutate : int array -> int -> 'r) : 'r Thread.t =
             let result = mutate (owned_data t pid line) off in
             resume_after_transaction t line ~exclusive:true lat (fun () -> resume result)))
 
-let write t a v =
-  exclusive_update t a (fun data off -> data.(off) <- v)
+(* The exclusive ops share one step; i1 selects the mutation so [write]
+   carries its value in an int slot (no mutate closure) and [rmw] only
+   ships the caller's own function. *)
+let excl_mutate c data off =
+  if Thread.Frame.geti1 c = 1 then begin
+    data.(off) <- Thread.Frame.geti2 c;
+    Obj.repr ()
+  end
+  else begin
+    let f : int -> int = Thread.Frame.getv2 c in
+    let old = data.(off) in
+    data.(off) <- f old;
+    Obj.repr old
+  end
 
-let rmw t a f =
-  exclusive_update t a (fun data off ->
-      let old = data.(off) in
-      data.(off) <- f old;
-      old)
+let excl_step c =
+  let t : t = Thread.Frame.getv3 c in
+  let a = Thread.Frame.geti3 c in
+  let line = line_of t a and off = offset_of t a in
+  let pid = Processor.id (Thread.Frame.proc c) in
+  let cache = t.caches.(pid) in
+  match Cache.lookup cache ~line with
+  | Some (Cache.Modified, data) ->
+    Cache.record_hit cache;
+    Thread.Frame.call_k c (excl_mutate c data off)
+  | Some (Cache.Shared, _) | None ->
+    (match Cache.state cache ~line with
+    | Some Cache.Shared -> Cache.record_hit cache (* data present, permission miss *)
+    | _ -> Cache.record_miss cache);
+    let resume : Obj.t -> unit = Thread.Frame.stall_k c in
+    let lat = write_miss t pid line in
+    let result = excl_mutate c (owned_data t pid line) off in
+    resume_app t line ~exclusive:true lat resume result
+
+let write t a v c k =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c k;
+    Thread.Frame.setv3 c t;
+    Thread.Frame.seti3 c a;
+    Thread.Frame.seti1 c 1;
+    Thread.Frame.seti2 c v;
+    Thread.Frame.hold_then c t.cfg.hit_cost excl_step
+  end
+  else exclusive_update_cps t a (fun data off -> data.(off) <- v) c k
+
+let rmw t a f c k =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c k;
+    Thread.Frame.setv3 c t;
+    Thread.Frame.seti3 c a;
+    Thread.Frame.seti1 c 2;
+    Thread.Frame.setv2 c f;
+    Thread.Frame.hold_then c t.cfg.hit_cost excl_step
+  end
+  else
+    exclusive_update_cps t a
+      (fun data off ->
+        let old = data.(off) in
+        data.(off) <- f old;
+        old)
+      c k
 
 let read_block t a n =
   if n < 0 then invalid_arg "Shmem.read_block: negative size";

@@ -12,7 +12,41 @@ type 'state t = {
   forward_k : unit Thread.t Transport.kind;
   transfer_k : unit Thread.t Transport.kind;
   reply_k : unit Transport.kind;
+  (* Pooled reply records: a reply carries an int slot holding the
+     result and the serving home, instead of a boxed [(r, home)] pair
+     inside a per-reply closure.  The caller unpacks and frees the slot
+     when its resumption runs. *)
+  mutable rs_r : Obj.t array;
+  mutable rs_home : int array;
+  mutable rs_free : int array;
+  mutable rs_free_top : int;
 }
+
+let rs_alloc t =
+  if t.rs_free_top = 0 then begin
+    let cap = Array.length t.rs_home in
+    let ncap = 2 * cap in
+    let nr = Array.make ncap (Obj.repr 0) in
+    Array.blit t.rs_r 0 nr 0 cap;
+    let nh = Array.make ncap 0 in
+    Array.blit t.rs_home 0 nh 0 cap;
+    let nf = Array.make ncap 0 in
+    Array.blit t.rs_free 0 nf 0 cap;
+    t.rs_r <- nr;
+    t.rs_home <- nh;
+    t.rs_free <- nf;
+    for k = 0 to cap - 1 do
+      t.rs_free.(k) <- cap + k
+    done;
+    t.rs_free_top <- cap
+  end;
+  t.rs_free_top <- t.rs_free_top - 1;
+  t.rs_free.(t.rs_free_top)
+
+let rs_release t slot =
+  t.rs_r.(slot) <- Obj.repr 0;
+  t.rs_free.(t.rs_free_top) <- slot;
+  t.rs_free_top <- t.rs_free_top + 1
 
 let create rt space ~words_of =
   let tp = Runtime.transport rt in
@@ -35,6 +69,10 @@ let create rt space ~words_of =
     forward_k;
     transfer_k;
     reply_k = Transport.kind tp "objmig_reply";
+    rs_r = Array.make 8 (Obj.repr 0);
+    rs_home = Array.make 8 0;
+    rs_free = Array.init 8 (fun k -> k);
+    rs_free_top = 8;
   }
 
 let machine t = Runtime.machine t.rt
@@ -61,17 +99,20 @@ let forwards t = Stats.get (stats t) "objmig.forwards"
 let object_moves t = Stats.get (stats t) "objmig.moves"
 
 (* Run [m] on the object as a handler occupying the delivery processor's
-   CPU, then reply to [caller]; [resume] receives the result and the
-   object's home at execution time (to repair the caller's hint).  The
-   transport charges the receive pipeline before this body runs. *)
-let rec serve t i ~caller ~args_words ~result_words m resume : unit Thread.t =
+   CPU, then reply to [caller]; [resume] receives a pooled reply slot
+   holding the result and the object's home at execution time (to repair
+   the caller's hint).  The transport charges the receive pipeline
+   before this body runs. *)
+let rec serve t i ~caller ~args_words ~result_words m (resume : int -> unit) : unit Thread.t =
   let* p = Thread.proc in
   let on = Processor.id p in
   let here = Objspace.home t.space i in
   if here = on then
     let* r = m (Objspace.state t.space i) in
-    Transport.notify t.tp t.reply_k ~dst:caller ~words:result_words (fun () ->
-        resume (r, on))
+    let slot = rs_alloc t in
+    t.rs_r.(slot) <- Obj.repr r;
+    t.rs_home.(slot) <- on;
+    Transport.notify_app t.tp t.reply_k ~dst:caller ~words:result_words resume slot
   else begin
     (* Stale home: forward the request to where the object went. *)
     Stats.incr (stats t) "objmig.forwards";
@@ -89,11 +130,14 @@ let call t i ~args_words ~result_words m =
   else begin
     let target = if believed = pid then Objspace.home t.space i else believed in
     let* () = Thread.compute (Costs.send_pipeline c ~words:args_words) in
-    let* r, home =
+    let* slot =
       Thread.await (fun ~resume ->
           Transport.dispatch t.tp t.call_k ~src:pid ~dst:target ~words:args_words
             (serve t i ~caller:pid ~args_words ~result_words m resume))
     in
+    let r = Obj.obj t.rs_r.(slot) in
+    let home = t.rs_home.(slot) in
+    rs_release t slot;
     learn t ~pid i home;
     let* () = Thread.compute (Costs.recv_pipeline c ~words:result_words ~new_thread:false) in
     Thread.return r

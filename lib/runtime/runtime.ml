@@ -74,7 +74,7 @@ let migrate_call t ~dst ~args_words body =
   in
   body
 
-let call t ~access ~home ~args_words ~result_words body =
+let call_cps t ~access ~home ~args_words ~result_words body =
   let c = costs t in
   (* The locality check happens on every annotated call, whatever the
      mechanism — it is not an extra cost of migration (paper S3.2). *)
@@ -89,7 +89,138 @@ let call t ~access ~home ~args_words ~result_words body =
     | Rpc -> rpc_call t ~dst:home ~args_words ~result_words body
     | Migrate -> migrate_call t ~dst:home ~args_words body
 
-let scope t ?(at_base = false) ~result_words body =
+(* Frame path of an annotated access: the forwarding check, the
+   three-way branch, and the migration all run over the thread's frame
+   slots.  [body] parks in v3 (the consumer slot — the transport chain
+   under the migration only touches v0..v2/i1..i2). *)
+let rt_body_step c =
+  let body : Obj.t Thread.t = Thread.Frame.getv3 c in
+  body c (Thread.Frame.take_k c)
+
+let rt_call_step c =
+  let t : t = Thread.Frame.getv0 c in
+  let packed = Thread.Frame.geti1 c in
+  let home = packed lsr 1 in
+  if Processor.id (Thread.Frame.proc c) = home then begin
+    Stats.Counter.incr t.local_calls_c;
+    rt_body_step c
+  end
+  else if packed land 1 = 0 then begin
+    Stats.Counter.incr t.rpc_calls_c;
+    let body : Obj.t Thread.t = Thread.Frame.getv3 c in
+    let k = Thread.Frame.take_k c in
+    Transport.call t.tp ~req:t.rpc_k ~reply:t.rpc_reply_k ~dst:home
+      ~args_words:(Thread.Frame.geti2 c) ~result_words:(Thread.Frame.geti3 c) body c k
+  end
+  else begin
+    Stats.Counter.incr t.migrations_c;
+    Transport.migrate_f t.tp t.migrate_k
+      ~dst:(Machine.proc t.machine home)
+      ~words:(Thread.Frame.geti2 c) ~fresh:true ~after:rt_body_step c
+  end
+
+let call t ~access ~home ~args_words ~result_words body =
+  let cst = costs t in
+  fun c k ->
+    if Thread.Frame.on c then begin
+      Thread.Frame.save_k c k;
+      Thread.Frame.setv0 c t;
+      Thread.Frame.setv3 c body;
+      Thread.Frame.seti1 c ((home lsl 1) lor (match access with Migrate -> 1 | Rpc -> 0));
+      Thread.Frame.seti2 c args_words;
+      Thread.Frame.seti3 c result_words;
+      Thread.Frame.hold_then c cst.Costs.forwarding_check rt_call_step
+    end
+    else call_cps t ~access ~home ~args_words ~result_words body c k
+
+(* --- fused call sites ------------------------------------------------ *)
+
+(* A call site binds one annotated access for repeated invocation: the
+   home, the body, the mechanism, and {e every} cost the access can
+   charge — forwarding check, send pipeline, fresh-thread receive
+   pipeline — resolved once at construction.  A steady-state invocation
+   then parks exactly two things in the thread frame (the continuation
+   and the site record) and each step reads cache-hot site fields, where
+   the generic [call] path re-derives costs and shuttles six slots per
+   visit.  Events, counters, and their order are identical to [call]'s
+   frame path, so digests cannot tell the two apart; the CPS reference
+   path is shared outright. *)
+type 'r site = {
+  s_rt : t;
+  s_home : int;
+  s_migrate : bool;
+  s_body : 'r Thread.t;
+  s_args_words : int;
+  s_result_words : int;
+  s_dst : Processor.t;  (* the home processor, pre-resolved *)
+  s_net : Network.t;
+  s_netk : Network.kind;  (* the "migrate" network label *)
+  s_fc : int;  (* forwarding-check cycles *)
+  s_send : int;  (* send-pipeline cycles for [s_args_words] *)
+  s_recv : int;  (* fresh-thread receive-pipeline cycles, ditto *)
+}
+
+let site t ~access ~home ~args_words ~result_words body =
+  let cst = costs t in
+  {
+    s_rt = t;
+    s_home = home;
+    s_migrate = (match access with Migrate -> true | Rpc -> false);
+    s_body = body;
+    s_args_words = args_words;
+    s_result_words = result_words;
+    s_dst = Machine.proc t.machine home;
+    s_net = t.machine.Machine.net;
+    s_netk = Transport.net_kind t.migrate_k;
+    s_fc = cst.Costs.forwarding_check;
+    s_send = Costs.send_pipeline cst ~words:args_words;
+    s_recv = Costs.recv_pipeline cst ~words:args_words ~new_thread:true;
+  }
+
+(* The migration has landed (same event as [Transport.mig_done_step]):
+   account the delivery, then run the body where it now is. *)
+let site_arrived_step c =
+  let s : Obj.t site = Thread.Frame.getv0 c in
+  Transport.account_delivered s.s_rt.migrate_k ~pid:s.s_home;
+  s.s_body c (Thread.Frame.take_k c)
+
+let site_send_step c =
+  let s : Obj.t site = Thread.Frame.getv0 c in
+  Transport.account_posted s.s_rt.migrate_k;
+  Thread.Frame.travel ~net:s.s_net ~dst:s.s_dst ~words:s.s_args_words ~kind:s.s_netk
+    ~recv_work:s.s_recv ~after:site_arrived_step c
+
+let site_step c =
+  let s : Obj.t site = Thread.Frame.getv0 c in
+  if Processor.id (Thread.Frame.proc c) = s.s_home then begin
+    Stats.Counter.incr s.s_rt.local_calls_c;
+    s.s_body c (Thread.Frame.take_k c)
+  end
+  else if s.s_migrate then begin
+    Stats.Counter.incr s.s_rt.migrations_c;
+    Thread.Frame.hold_then c s.s_send site_send_step
+  end
+  else begin
+    let t = s.s_rt in
+    Stats.Counter.incr t.rpc_calls_c;
+    Transport.call t.tp ~req:t.rpc_k ~reply:t.rpc_reply_k ~dst:s.s_home
+      ~args_words:s.s_args_words ~result_words:s.s_result_words s.s_body c
+      (Thread.Frame.take_k c)
+  end
+
+let site_call (s : 'r site) : 'r Thread.t =
+ fun c k ->
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c k;
+    Thread.Frame.setv0 c s;
+    Thread.Frame.hold_then c s.s_fc site_step
+  end
+  else
+    call_cps s.s_rt
+      ~access:(if s.s_migrate then Migrate else Rpc)
+      ~home:s.s_home ~args_words:s.s_args_words ~result_words:s.s_result_words s.s_body c k
+
+let scope_cps t ~at_base ~result_words body =
   let* origin = Thread.proc in
   let* r = body in
   let* here = Thread.proc in
@@ -104,6 +235,26 @@ let scope t ?(at_base = false) ~result_words body =
     in
     Thread.return r
   end
+
+let scope_done_step c =
+  let r : Obj.t = Thread.Frame.getv3 c in
+  Thread.Frame.call_k c r
+
+let scope t ?(at_base = false) ~result_words body =
+ fun c k ->
+  if Thread.Frame.on c then begin
+    let origin = Thread.Frame.proc c in
+    body c (fun r ->
+        if at_base || Processor.id (Thread.Frame.proc c) = Processor.id origin then k r
+        else begin
+          Stats.Counter.incr t.scope_returns_c;
+          Thread.Frame.save_k c k;
+          Thread.Frame.setv3 c r;
+          Transport.migrate_f t.tp t.migrate_return_k ~dst:origin ~words:result_words
+            ~fresh:false ~after:scope_done_step c
+        end)
+  end
+  else scope_cps t ~at_base ~result_words body c k
 
 (* Partial-activation support (paper S6): an activation that migrated
    carrying only part of its live state pulls the rest from its origin

@@ -64,6 +64,32 @@ val call :
     reply ([Migrate] sends none).  After the call the thread is back on
     its original processor under [Rpc], and on [home] under [Migrate]. *)
 
+type 'r site
+(** A {e fused call site}: one annotated access bound for repeated
+    invocation, with its home processor, body, mechanism, and every cost
+    it can charge (forwarding check, send pipeline, receive pipeline)
+    resolved at construction.  Invoking a site performs exactly the same
+    events and counter updates as {!call} with the same arguments — run
+    digests are identical — but the steady-state path reads the
+    pre-resolved record instead of re-deriving costs and staging six
+    frame slots per visit.  Build sites once (per object/method) and
+    invoke them per access; see {!Cm_core.Prelude.invoke_site}. *)
+
+val site :
+  t ->
+  access:access ->
+  home:int ->
+  args_words:int ->
+  result_words:int ->
+  'r Thread.t ->
+  'r site
+(** [site t ~access ~home ~args_words ~result_words body] binds the
+    access once.  The arguments mean exactly what {!call}'s do. *)
+
+val site_call : 'r site -> 'r Thread.t
+(** [site_call s] performs the bound access; equivalent to the {!call}
+    it was built from, invocation after invocation. *)
+
 val scope : t -> ?at_base:bool -> result_words:int -> 'r Thread.t -> 'r Thread.t
 (** [scope t ~result_words body] runs [body] as one procedure activation;
     see the module description.  [at_base] defaults to [false]. *)

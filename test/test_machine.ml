@@ -344,6 +344,61 @@ let test_processor_utilization () =
   Sim.run sim;
   Alcotest.(check (float 1e-9)) "50%" 0.5 (Processor.utilization p ~now:(Sim.now sim))
 
+let test_processor_park_pool_growth_and_reuse () =
+  let sim, _, p = make_proc ~scheduler_cost:0 () in
+  Alcotest.(check int) "initial park capacity" 8 (Processor.park_capacity p);
+  let fired = ref [] in
+  (* 20 delayed enqueues with distinct deadlines: more than the initial 8
+     slots, so the pool must grow mid-flight without disturbing wake
+     order. *)
+  for i = 0 to 19 do
+    Processor.enqueue_after p ~delay:(10 * (i + 1)) (fun () ->
+        fired := i :: !fired;
+        Processor.release p)
+  done;
+  Alcotest.(check int) "all parked" 20 (Processor.parked p);
+  Alcotest.(check bool) "pool grew" true (Processor.park_capacity p >= 20);
+  let grown = Processor.park_capacity p in
+  Sim.run sim;
+  Alcotest.(check int) "pool drained" 0 (Processor.parked p);
+  Alcotest.(check (list int)) "woken in deadline order" (List.init 20 Fun.id) (List.rev !fired);
+  (* A second wave exactly filling the grown pool recycles the freed
+     slots: no further growth. *)
+  for _ = 1 to grown do
+    Processor.enqueue_after p ~delay:5 (fun () -> Processor.release p)
+  done;
+  Alcotest.(check int) "second wave parked" grown (Processor.parked p);
+  Alcotest.(check int) "slots reused, capacity unchanged" grown (Processor.park_capacity p);
+  Sim.run sim;
+  Alcotest.(check int) "drained again" 0 (Processor.parked p)
+
+let test_processor_ring_growth_preserves_fcfs () =
+  let sim, _, p = make_proc ~scheduler_cost:0 () in
+  Alcotest.(check int) "initial ring capacity" 8 (Processor.ring_capacity p);
+  let order = ref [] in
+  (* The first task is dispatched but stays in the ring until its
+     dispatch event fires, so 20 enqueues force the ring past its
+     initial 8 slots while entries are live. *)
+  for i = 0 to 19 do
+    Processor.enqueue p (fun () ->
+        Processor.hold p 10 (fun () ->
+            order := i :: !order;
+            Processor.release p))
+  done;
+  Alcotest.(check bool) "ring grew" true (Processor.ring_capacity p >= 20);
+  let grown = Processor.ring_capacity p in
+  Sim.run sim;
+  Alcotest.(check (list int)) "fcfs preserved across growth" (List.init 20 Fun.id)
+    (List.rev !order);
+  (* Emptied slots are reused: a burst that fits the grown ring does not
+     grow it again. *)
+  for _ = 1 to grown do
+    Processor.enqueue p (fun () -> Processor.release p)
+  done;
+  Alcotest.(check int) "ring capacity unchanged on reuse" grown (Processor.ring_capacity p);
+  Sim.run sim;
+  Alcotest.(check int) "queue empty" 0 (Processor.queue_length p)
+
 (* ------------------------------------------------------------------ *)
 (* Thread                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -413,6 +468,62 @@ let test_thread_await_resume () =
     Machine.run m
   | None -> Alcotest.fail "thread never blocked");
   Alcotest.(check int) "resumed with value" 42 !got
+
+let test_thread_sleep_pool_reuse_after_exit () =
+  (* Two generations of sleeping threads on one processor: the first
+     wave's 50 concurrent sleepers grow the park pool; after they exit,
+     the second wave must fit in the recycled slots. *)
+  let m = Machine.create ~seed:1 ~n_procs:1 ~costs:Costs.software () in
+  let p = Machine.proc m 0 in
+  let exited = ref 0 in
+  let wave () =
+    (* Each spawn dispatch costs ~36 cycles, so all 50 threads reach
+       their 10k-cycle sleep long before the first one wakes: the whole
+       wave is parked at once. *)
+    for _ = 1 to 50 do
+      Machine.spawn m ~on:0 ~on_exit:(fun () -> incr exited) (Thread.sleep 10_000)
+    done;
+    Machine.run m
+  in
+  wave ();
+  Alcotest.(check int) "first wave exited" 50 !exited;
+  Alcotest.(check int) "nothing left parked" 0 (Processor.parked p);
+  let grown = Processor.park_capacity p in
+  Alcotest.(check bool) "pool grew to hold concurrent sleepers" true (grown >= 50);
+  wave ();
+  Alcotest.(check int) "second wave exited" 100 !exited;
+  Alcotest.(check int) "slots reused after exit, capacity unchanged" grown
+    (Processor.park_capacity p)
+
+let test_thread_frame_double_resume_checked () =
+  (* The machine runs the frames engine, but with the sanitizer armed
+     the suspension paths fall back to CPS with Check.linear tokens — a
+     double resume must still be caught at the faulting call. *)
+  Check.set_enabled true;
+  Check.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Check.set_enabled false;
+      Check.reset ())
+    (fun () ->
+      let m = Machine.create ~seed:1 ~n_procs:1 ~costs:Costs.software () in
+      Alcotest.(check bool) "frames-engine machine" true (m.Machine.engine = Machine.Frames);
+      let saved = ref None in
+      let got = ref 0 in
+      Machine.spawn m ~on:0
+        (let* v = Thread.await (fun ~resume -> saved := Some resume) in
+         got := v;
+         Thread.return ());
+      Machine.run m;
+      match !saved with
+      | None -> Alcotest.fail "thread never blocked"
+      | Some resume ->
+        Sim.after m.Machine.sim 10 (fun () -> resume 7);
+        Machine.run m;
+        Alcotest.(check int) "first resume delivered" 7 !got;
+        (match resume 8 with
+        | () -> Alcotest.fail "second resume not caught"
+        | exception Check.Violation _ -> ()))
 
 let test_thread_travel_moves () =
   let m = machine () in
@@ -574,6 +685,75 @@ let test_machine_proc_bounds () =
     (fun () -> ignore (Machine.proc m 4))
 
 (* ------------------------------------------------------------------ *)
+(* Engine oracle: frames vs CPS                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The frame engine must be observationally identical to the CPS
+   reference it defunctionalizes: random mixes of every suspension
+   shape — compute, yield, sleep, await on an external event, travel —
+   across several threads and processors, run once per engine, must
+   produce equal machine digests (final clock, events fired, every
+   statistic). *)
+
+type oracle_op = O_compute of int | O_yield | O_sleep of int | O_travel of int | O_await of int
+
+let oracle_op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> O_compute n) (int_range 1 50);
+        return O_yield;
+        map (fun n -> O_sleep n) (int_range 1 100);
+        map (fun d -> O_travel d) (int_range 0 3);
+        map (fun d -> O_await d) (int_range 1 80);
+      ])
+
+let oracle_op_print = function
+  | O_compute n -> Printf.sprintf "compute %d" n
+  | O_yield -> "yield"
+  | O_sleep n -> Printf.sprintf "sleep %d" n
+  | O_travel d -> Printf.sprintf "travel %d" d
+  | O_await d -> Printf.sprintf "await %d" d
+
+let oracle_script_gen =
+  QCheck.Gen.(list_size (int_range 1 5) (pair (int_range 0 3) (list_size (int_range 0 8) oracle_op_gen)))
+
+let oracle_script_print script =
+  String.concat "; "
+    (List.map
+       (fun (on, ops) ->
+         Printf.sprintf "on %d: [%s]" on (String.concat ", " (List.map oracle_op_print ops)))
+       script)
+
+let oracle_digest engine script =
+  let m = Machine.create ~seed:11 ~engine ~n_procs:4 ~costs:Costs.software () in
+  let rec body ops =
+    match ops with
+    | [] -> Thread.return ()
+    | op :: rest ->
+      let* () =
+        match op with
+        | O_compute n -> Thread.compute n
+        | O_yield -> Thread.yield
+        | O_sleep n -> Thread.sleep n
+        | O_travel d ->
+          Thread.travel ~net:m.Machine.net ~dst:(Machine.proc m d) ~words:8 ~kind:"migrate"
+            ~recv_work:20
+        | O_await d ->
+          Thread.await (fun ~resume -> Sim.after m.Machine.sim d (fun () -> resume ()))
+      in
+      body rest
+  in
+  List.iter (fun (on, ops) -> Machine.spawn m ~on (body ops)) script;
+  Machine.run m;
+  Machine.digest m
+
+let prop_engine_oracle =
+  QCheck.Test.make ~name:"frames and cps engines produce equal digests" ~count:150
+    (QCheck.make ~print:oracle_script_print oracle_script_gen)
+    (fun script -> oracle_digest Machine.Frames script = oracle_digest Machine.Cps script)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
@@ -623,6 +803,10 @@ let () =
           Alcotest.test_case "contention queueing" `Quick test_processor_contention_queueing;
           Alcotest.test_case "idle between bursts" `Quick test_processor_idle_between_bursts;
           Alcotest.test_case "utilization" `Quick test_processor_utilization;
+          Alcotest.test_case "park pool growth and reuse" `Quick
+            test_processor_park_pool_growth_and_reuse;
+          Alcotest.test_case "ring growth preserves fcfs" `Quick
+            test_processor_ring_growth_preserves_fcfs;
         ] );
       ( "thread",
         [
@@ -630,6 +814,10 @@ let () =
           Alcotest.test_case "yield interleaves" `Quick test_thread_yield_interleaves;
           Alcotest.test_case "sleep releases cpu" `Quick test_thread_sleep_releases_cpu;
           Alcotest.test_case "await resume" `Quick test_thread_await_resume;
+          Alcotest.test_case "sleep pool reuse after exit" `Quick
+            test_thread_sleep_pool_reuse_after_exit;
+          Alcotest.test_case "frame double resume checked" `Quick
+            test_thread_frame_double_resume_checked;
           Alcotest.test_case "travel moves" `Quick test_thread_travel_moves;
           Alcotest.test_case "travel charges receiver" `Quick test_thread_travel_charges_receiver;
           Alcotest.test_case "travel keeps source free" `Quick test_thread_travel_keeps_source_free;
@@ -645,5 +833,6 @@ let () =
           Alcotest.test_case "spawn on_exit" `Quick test_machine_spawn_on_exit;
           Alcotest.test_case "determinism" `Quick test_machine_determinism;
           Alcotest.test_case "proc bounds" `Quick test_machine_proc_bounds;
-        ] );
+        ]
+        @ qsuite [ prop_engine_oracle ] );
     ]

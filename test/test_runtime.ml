@@ -177,6 +177,91 @@ let test_call_migrate_subsequent_local () =
   Alcotest.(check int) "four local" 4 (Runtime.local_calls rt);
   Alcotest.(check int) "one message" 1 (Network.total_messages m.Machine.net)
 
+(* ------------------------------------------------------------------ *)
+(* Runtime.site — fused call sites                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Run five invocations of [make rt] from processor 0 and collect every
+   observable: final clock, traffic, call counters, where the thread
+   ended.  A fused site must be indistinguishable from the Runtime.call
+   it precomputes. *)
+let measure_invocations make =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let inv = make rt in
+  let ended = ref (-1) in
+  run_thread ~on:0 m
+    (let* () = Thread.repeat 5 (fun _ -> Thread.ignore_m inv) in
+     let* p = Thread.proc in
+     ended := Processor.id p;
+     Thread.return ());
+  ( Machine.now m,
+    Network.total_messages m.Machine.net,
+    Runtime.migrations rt,
+    Runtime.local_calls rt,
+    Runtime.rpc_calls rt,
+    !ended )
+
+let obs = Alcotest.(pair (pair (pair int int) (pair int int)) (pair int int))
+
+let as_obs (a, b, c, d, e, f) = (((a, b), (c, d)), (e, f))
+
+let test_site_call_matches_call_migrate () =
+  let via_call rt =
+    Runtime.call rt ~access:Runtime.Migrate ~home:5 ~args_words:8 ~result_words:2
+      (Thread.compute 40)
+  in
+  let via_site rt =
+    Runtime.site_call
+      (Runtime.site rt ~access:Runtime.Migrate ~home:5 ~args_words:8 ~result_words:2
+         (Thread.compute 40))
+  in
+  let reference = measure_invocations via_call in
+  let fused = measure_invocations via_site in
+  Alcotest.check obs "site cycle- and counter-identical to call" (as_obs reference) (as_obs fused);
+  let _, messages, migrations, locals, _, ended = fused in
+  Alcotest.(check int) "one migration" 1 migrations;
+  Alcotest.(check int) "four local" 4 locals;
+  Alcotest.(check int) "one message" 1 messages;
+  Alcotest.(check int) "ended at home" 5 ended
+
+let test_site_call_matches_call_rpc () =
+  let via_call rt =
+    Runtime.call rt ~access:Runtime.Rpc ~home:5 ~args_words:8 ~result_words:2 (Thread.compute 40)
+  in
+  let via_site rt =
+    Runtime.site_call
+      (Runtime.site rt ~access:Runtime.Rpc ~home:5 ~args_words:8 ~result_words:2
+         (Thread.compute 40))
+  in
+  let reference = measure_invocations via_call in
+  let fused = measure_invocations via_site in
+  Alcotest.check obs "site cycle- and counter-identical to call" (as_obs reference) (as_obs fused);
+  let _, messages, _, _, rpcs, ended = fused in
+  Alcotest.(check int) "five rpcs" 5 rpcs;
+  Alcotest.(check int) "request+reply per rpc" 10 messages;
+  Alcotest.(check int) "caller stays put" 0 ended
+
+let test_site_call_checked_falls_back () =
+  (* With the sanitizer armed the frame fast path is off; site_call must
+     route through the CPS reference path with identical observables. *)
+  let via_site rt =
+    Runtime.site_call
+      (Runtime.site rt ~access:Runtime.Migrate ~home:5 ~args_words:8 ~result_words:2
+         (Thread.compute 40))
+  in
+  let plain = measure_invocations via_site in
+  Check.set_enabled true;
+  Check.reset ();
+  let checked =
+    Fun.protect
+      ~finally:(fun () ->
+        Check.set_enabled false;
+        Check.reset ())
+      (fun () -> measure_invocations via_site)
+  in
+  Alcotest.check obs "checked run identical" (as_obs plain) (as_obs checked)
+
 let test_scope_returns_home () =
   let m = machine () in
   let rt = Runtime.create m in
@@ -921,6 +1006,10 @@ let () =
           Alcotest.test_case "rpc uses server cpu" `Quick test_call_rpc_uses_server_cpu;
           Alcotest.test_case "migrate one message" `Quick test_call_migrate_one_message_and_moves;
           Alcotest.test_case "migrate then local" `Quick test_call_migrate_subsequent_local;
+          Alcotest.test_case "site matches call (migrate)" `Quick
+            test_site_call_matches_call_migrate;
+          Alcotest.test_case "site matches call (rpc)" `Quick test_site_call_matches_call_rpc;
+          Alcotest.test_case "site checked fallback" `Quick test_site_call_checked_falls_back;
           Alcotest.test_case "scope returns home" `Quick test_scope_returns_home;
           Alcotest.test_case "scope at base" `Quick test_scope_at_base_short_circuits;
           Alcotest.test_case "scope local free" `Quick test_scope_local_body_free;
