@@ -39,6 +39,16 @@
                                             (N from CM_JOBS, default 4);
                                             JSON with a speedup field per
                                             experiment (default BENCH_pr4.json)
+     dune exec bench/main.exe -- big [f]    the million-object scale probes:
+                                            10^6 registrations into the flat
+                                            vs boxed object store, full-size
+                                            dht_zipf and social_graph runs,
+                                            and a paired A/B of flat vs boxed
+                                            DHT buckets (interleaved reps,
+                                            digest cross-check; fails if the
+                                            flat store's minor words/op are
+                                            not >= 10x below the boxed rep's)
+                                            (default BENCH_pr8.json)
 *)
 
 open Cm_experiments
@@ -131,6 +141,23 @@ let specs ~full =
               (Btree_run.run_with_machine
                  (Scheme.Cp { hw = false; repl = true })
                  (fanout10_cfg ~horizon:mid)));
+    };
+    (* The scale experiments: quick-sized in smoke (CI asserts their
+       minor-words ceilings), full 10^6-object / 1024-proc sweeps
+       points in the full bench. *)
+    {
+      name = "dht_zipf:hot-keys";
+      thunk =
+        (fun () ->
+          ignore (Dht_zipf.measure ~quick:(not full) (Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) 1.3));
+      probe = None;
+    };
+    {
+      name = "social_graph:walks";
+      thunk =
+        (fun () ->
+          ignore (Social_bench.measure ~quick:(not full) Social_bench.Walk Cm_core.Prelude.Migrate));
+      probe = None;
     };
   ]
 
@@ -435,11 +462,290 @@ let run_sweep ~jobs ~json () =
   in
   write_json ~mode:"sweep" json records
 
+(* --- big mode: million-object scale probes ------------------------ *)
+
+(* Wall-clock seconds and minor words of one call. *)
+let timed_alloc f =
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0, Gc.minor_words () -. m0)
+
+(* 10^6 registrations into the flat object store vs the pre-flat boxed
+   reference ([Store_ref.Objspace_boxed], the old representation kept
+   under test/) on a 1024-processor machine: objects-per-second and
+   minor words per object for each side. *)
+let big_register () =
+  let objects = 1_000_000 in
+  let n_procs = 1_024 in
+  let machine () =
+    Cm_machine.Machine.create ~seed:42 ~n_procs ~costs:Cm_machine.Costs.software ()
+  in
+  let flat_s, flat_mw =
+    let s = Cm_runtime.Objspace.create (machine ()) in
+    timed_alloc (fun () ->
+        for i = 0 to objects - 1 do
+          ignore (Cm_runtime.Objspace.register s ~home:(i land (n_procs - 1)) i)
+        done)
+  in
+  let boxed_s, boxed_mw =
+    let s = Store_ref.Objspace_boxed.create (machine ()) in
+    timed_alloc (fun () ->
+        for i = 0 to objects - 1 do
+          ignore (Store_ref.Objspace_boxed.register s ~home:(i land (n_procs - 1)) i)
+        done)
+  in
+  let per_sec secs = float_of_int objects /. secs in
+  let per_obj mw = mw /. float_of_int objects in
+  Printf.printf
+    "%-28s flat %10.2e obj/s %6.2f minor-w/obj | boxed %10.2e obj/s %6.2f minor-w/obj\n%!"
+    "store:register-1M" (per_sec flat_s) (per_obj flat_mw) (per_sec boxed_s) (per_obj boxed_mw);
+  [
+    json_str "name" "store:register-1M";
+    json_int "objects" objects;
+    json_int "n_procs" n_procs;
+    json_float "flat_objects_per_sec" (per_sec flat_s);
+    json_float "boxed_objects_per_sec" (per_sec boxed_s);
+    json_float "flat_minor_words_per_object" (per_obj flat_mw);
+    json_float "boxed_minor_words_per_object" (per_obj boxed_mw);
+  ]
+
+(* One full-size scale experiment, timed: the 10^6-object dht_zipf /
+   social_graph sweep points, with whole-run wall clock and GC words
+   (construction + preload + simulation — the number that must stay
+   tractable for million-object workloads to be usable). *)
+let big_scale name objects thunk =
+  let metrics = ref None in
+  let before = Gc.quick_stat () in
+  let secs, mw = timed_alloc (fun () -> metrics := Some (thunk ())) in
+  let after = Gc.quick_stat () in
+  let m = Option.get !metrics in
+  let major =
+    after.Gc.major_words -. before.Gc.major_words
+    -. (after.Gc.promoted_words -. before.Gc.promoted_words)
+  in
+  Printf.printf "%-28s %8.2f s  %8d sim ops  %8.3f ops/1000cyc  %9.2e minor-w  %.2e obj/s\n%!"
+    name secs m.Cm_workload.Metrics.ops m.Cm_workload.Metrics.throughput mw
+    (float_of_int objects /. secs);
+  [
+    json_str "name" name;
+    json_int "objects" objects;
+    json_float "wall_seconds" secs;
+    json_float "objects_per_sec" (float_of_int objects /. secs);
+    json_int "sim_ops" m.Cm_workload.Metrics.ops;
+    json_float "sim_throughput" m.Cm_workload.Metrics.throughput;
+    json_float "minor_words" mw;
+    json_float "major_words" major;
+  ]
+
+(* The paired simulated A/B: the same uniform-key update stream through
+   the flat int-pair buckets ([Cm_apps.Dht]) and the pre-PR-8 assoc-list
+   buckets ([Store_ref.Dht_boxed]), interleaved repetitions.  Both sides
+   charge identical costs over identical request streams, so the two
+   machines' digests must match — the proof that the boxed reference is
+   cost-identical and the A/B pair compares representations, not
+   workloads.  The whole-op allocation figures recorded here include the
+   per-op thread-graph construction (scope/call/bind closures) that both
+   sides share, so the ratio is informative, not the acceptance floor —
+   that is [big_ab_repr]'s job, which isolates the representation. *)
+let big_ab_sim () =
+  let node_procs = 16 and requesters = 8 in
+  let keys = 20_000 and buckets = 1_024 and horizon = 120_000 in
+  let reps = 5 in
+  let nodes = Array.init node_procs (fun i -> i) in
+  let spec =
+    {
+      Cm_workload.Driver.requesters;
+      first_proc = node_procs;
+      think = 0;
+      warmup = horizon / 5;
+      horizon;
+    }
+  in
+  let machine () =
+    Cm_machine.Machine.create ~seed:42 ~n_procs:(node_procs + requesters)
+      ~costs:Cm_machine.Costs.software ()
+  in
+  (* Build table + preload (unmeasured), then drive the update stream
+     measuring minor words across the simulation only. *)
+  let run_flat () =
+    let m = machine () in
+    let env = Cm_apps.Sysenv.make m in
+    let table =
+      Cm_apps.Dht.create env ~buckets ~bucket_capacity:64
+        ~mode:(Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) ~node_procs:nodes ()
+    in
+    for k = 0 to keys - 1 do
+      Cm_apps.Dht.preload table ~key:k ~value:k
+    done;
+    let request _i =
+      let open Cm_machine.Thread.Infix in
+      let* r = Cm_machine.Thread.rng in
+      let key = Cm_engine.Rng.int r keys in
+      Cm_apps.Dht.put table ~key ~value:key
+    in
+    let m0 = Gc.minor_words () in
+    let metrics = Cm_workload.Driver.run m spec request in
+    (metrics, Gc.minor_words () -. m0, Cm_machine.Machine.digest m)
+  in
+  let run_boxed () =
+    let m = machine () in
+    let env = Cm_apps.Sysenv.make m in
+    let table =
+      Store_ref.Dht_boxed.create env.Cm_apps.Sysenv.prelude ~buckets ~bucket_capacity:64
+        ~access:Cm_core.Prelude.Rpc ~node_procs:nodes ()
+    in
+    for k = 0 to keys - 1 do
+      Store_ref.Dht_boxed.preload table ~key:k ~value:k
+    done;
+    let request _i =
+      let open Cm_machine.Thread.Infix in
+      let* r = Cm_machine.Thread.rng in
+      let key = Cm_engine.Rng.int r keys in
+      Store_ref.Dht_boxed.put table ~key ~value:key
+    in
+    let m0 = Gc.minor_words () in
+    let metrics = Cm_workload.Driver.run m spec request in
+    (metrics, Gc.minor_words () -. m0, Cm_machine.Machine.digest m)
+  in
+  let flat_mw = Array.make reps 0. and boxed_mw = Array.make reps 0. in
+  let ops = ref 0 in
+  let digests_equal = ref true in
+  for r = 0 to reps - 1 do
+    let fm, fw, fd = run_flat () in
+    let bm, bw, bd = run_boxed () in
+    if fd <> bd || fm.Cm_workload.Metrics.ops <> bm.Cm_workload.Metrics.ops then
+      digests_equal := false;
+    ops := fm.Cm_workload.Metrics.ops;
+    flat_mw.(r) <- fw /. float_of_int (max 1 fm.Cm_workload.Metrics.ops);
+    boxed_mw.(r) <- bw /. float_of_int (max 1 bm.Cm_workload.Metrics.ops)
+  done;
+  let flat_med = median flat_mw and boxed_med = median boxed_mw in
+  let ratio = boxed_med /. Float.max flat_med 0.01 in
+  Printf.printf
+    "%-28s flat %7.2f minor-w/op | boxed %7.2f minor-w/op | boxed/flat x%.2f%s\n%!"
+    "ab:dht-sim-digest" flat_med boxed_med ratio
+    (if !digests_equal then "  digests equal" else "  DIGEST MISMATCH");
+  if not !digests_equal then
+    failwith "big: flat vs boxed DHT digests differ — the A/B pair is not cost-identical";
+  [
+    json_str "name" "ab:dht-sim-digest";
+    json_int "reps" reps;
+    json_int "ops" !ops;
+    json_float "flat_minor_words_per_op_median" flat_med;
+    json_float "boxed_minor_words_per_op_median" boxed_med;
+    json_float "boxed_over_flat_ratio" ratio;
+    json_str "digests_equal" (string_of_bool !digests_equal);
+  ]
+
+(* The representation probe at the full dht_zipf geometry (10^6 keys in
+   65 536 buckets on a 1024-processor machine): the same precomputed
+   uniform update stream applied directly to both bucket
+   representations' steady state — a warm prefix first, then the
+   measured ops on a warm table (the boxed list's move-to-front order
+   has settled).  Flat buckets overwrite two words in place (zero minor
+   words); the boxed list rebuilds O(position) cells per update.  The
+   cross-check samples final values from both tables — identical streams
+   must leave identical contents.  This is the acceptance floor: the
+   flat store's per-op steady-state minor allocation must sit at least
+   10x below the boxed representation's. *)
+let big_ab_repr () =
+  let keys = 1_000_000 and buckets = 65_536 and node_procs = 960 and requesters = 64 in
+  let warm_ops = 200_000 and measured_ops = 800_000 in
+  let stream =
+    let r = Cm_engine.Rng.create ~seed:7 in
+    Array.init (warm_ops + measured_ops) (fun _ -> Cm_engine.Rng.int r keys)
+  in
+  let drive preload_op =
+    for j = 0 to warm_ops - 1 do
+      let key = stream.(j) in
+      preload_op ~key ~value:(key lxor j)
+    done;
+    timed_alloc (fun () ->
+        for j = warm_ops to warm_ops + measured_ops - 1 do
+          let key = stream.(j) in
+          preload_op ~key ~value:(key lxor j)
+        done)
+  in
+  let machine () =
+    Cm_machine.Machine.create ~seed:42 ~n_procs:(node_procs + requesters)
+      ~costs:Cm_machine.Costs.software ()
+  in
+  let nodes = Array.init node_procs (fun i -> i) in
+  let flat_env = Cm_apps.Sysenv.make (machine ()) in
+  let flat =
+    Cm_apps.Dht.create flat_env ~buckets ~bucket_capacity:64
+      ~mode:(Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) ~node_procs:nodes ()
+  in
+  for k = 0 to keys - 1 do
+    Cm_apps.Dht.preload flat ~key:k ~value:k
+  done;
+  let flat_s, flat_mw = drive (fun ~key ~value -> Cm_apps.Dht.preload flat ~key ~value) in
+  let boxed_env = Cm_apps.Sysenv.make (machine ()) in
+  let boxed =
+    Store_ref.Dht_boxed.create boxed_env.Cm_apps.Sysenv.prelude ~buckets ~bucket_capacity:64
+      ~access:Cm_core.Prelude.Rpc ~node_procs:nodes ()
+  in
+  for k = 0 to keys - 1 do
+    Store_ref.Dht_boxed.preload boxed ~key:k ~value:k
+  done;
+  let boxed_s, boxed_mw =
+    drive (fun ~key ~value -> Store_ref.Dht_boxed.preload boxed ~key ~value)
+  in
+  (* Identical streams must leave identical tables. *)
+  for s = 0 to 4_095 do
+    let key = s * 244 in
+    if Cm_apps.Dht.peek flat key <> Store_ref.Dht_boxed.peek boxed key then
+      failwith (Printf.sprintf "big: flat vs boxed disagree on key %d after update stream" key)
+  done;
+  let per_op mw = mw /. float_of_int measured_ops in
+  let ops_per_sec secs = float_of_int measured_ops /. secs in
+  let flat_po = per_op flat_mw and boxed_po = per_op boxed_mw in
+  let ratio = boxed_po /. Float.max flat_po 0.01 in
+  Printf.printf
+    "%-28s flat %7.2f minor-w/op %9.2e op/s | boxed %7.2f minor-w/op %9.2e op/s | x%.0f\n%!"
+    "ab:dht-bucket-update" flat_po (ops_per_sec flat_s) boxed_po (ops_per_sec boxed_s) ratio;
+  if flat_po *. 10. > boxed_po then
+    failwith
+      (Printf.sprintf
+         "big: flat store's steady-state minor words/op (%.2f) is not >=10x below boxed \
+          (%.2f)"
+         flat_po boxed_po);
+  [
+    json_str "name" "ab:dht-bucket-update";
+    json_int "keys" keys;
+    json_int "buckets" buckets;
+    json_int "measured_ops" measured_ops;
+    json_float "flat_minor_words_per_op" flat_po;
+    json_float "boxed_minor_words_per_op" boxed_po;
+    json_float "flat_ops_per_sec" (ops_per_sec flat_s);
+    json_float "boxed_ops_per_sec" (ops_per_sec boxed_s);
+    json_float "boxed_over_flat_ratio" ratio;
+  ]
+
+let run_big ~json () =
+  print_endline "\n=== big: million-object scale probes (flat vs boxed object space) ===";
+  let r_register = big_register () in
+  let r_dht =
+    big_scale "dht_zipf:full-rpc-s1.3" 1_000_000 (fun () ->
+        Dht_zipf.measure ~quick:false (Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) 1.3)
+  in
+  let r_social =
+    big_scale "social_graph:full-walk-mig" 1_000_000 (fun () ->
+        Social_bench.measure ~quick:false Social_bench.Walk Cm_core.Prelude.Migrate)
+  in
+  let r_sim = big_ab_sim () in
+  let r_repr = big_ab_repr () in
+  write_json ~mode:"big" json [ r_register; r_dht; r_social; r_sim; r_repr ]
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let json_arg default = if Array.length Sys.argv > 2 then Sys.argv.(2) else default in
   let quick = mode = "quick" in
-  if mode <> "bench" && mode <> "smoke" && mode <> "one" && mode <> "sweep" && mode <> "ab"
+  if
+    mode <> "bench" && mode <> "smoke" && mode <> "one" && mode <> "sweep" && mode <> "ab"
+    && mode <> "big"
   then begin
     print_endline "Reproduction of every table and figure (see EXPERIMENTS.md for discussion):";
     Registry.run_all ~quick ()
@@ -470,6 +776,7 @@ let () =
     let names = String.split_on_char ',' (json_arg "table1:btree-throughput") in
     let json = if Array.length Sys.argv > 3 then Some Sys.argv.(3) else None in
     run_bechamel ~only:names ~mode ~quota:3.0 ~limit:500 ~full:true ~json ()
+  | "big" -> run_big ~json:(json_arg "BENCH_pr8.json") ()
   | "sweep" ->
     let jobs =
       match Option.bind (Sys.getenv_opt "CM_JOBS") int_of_string_opt with

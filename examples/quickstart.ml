@@ -42,7 +42,7 @@ let demo access =
   Machine.run machine;
   Printf.printf "%-8s  counter=%d  messages=%-3d words=%-4d finished at cycle %d\n"
     (Runtime.access_name access)
-    !(Prelude.obj_state counter)
+    !(Prelude.obj_state prelude counter)
     (Network.total_messages machine.Machine.net)
     (Network.total_words machine.Machine.net)
     !finished_at

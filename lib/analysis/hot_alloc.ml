@@ -57,6 +57,16 @@ let default =
     };
     { s_unit = "Cm_machine.Processor";
       s_names = [ "run_head"; "dispatch"; "enqueue"; "release"; "hold"; "charge" ] };
+    (* The flat object space: home/state lookups and moves sit on every
+       remote access's fast path, and at 10^6 objects any per-lookup box
+       (a tuple key, a sprintf on the success path) is a regression the
+       pass must catch. *)
+    { s_unit = "Cm_runtime.Objspace"; s_names = [ "check"; "home"; "state"; "move" ] };
+    (* The flat DHT buckets' scan/write primitives, likewise: every
+       get/put/preload crosses them, and the big-mode A/B probe's >=10x
+       allocation floor depends on their staying allocation-free. *)
+    { s_unit = "Cm_apps.Dht";
+      s_names = [ "bkt_count"; "bkt_find"; "bkt_find_from"; "bkt_set"; "bkt_append" ] };
   ]
 
 let in_hot_set specs (b : Cmt_index.binding) (ui : Cmt_index.unit_info) =

@@ -227,7 +227,8 @@ let traverse t ~input_wire =
 
 let output_counts t =
   match t.repr with
-  | Msg { cnts; _ } -> Array.map (fun o -> (Prelude.obj_state o).count) cnts
+  | Msg { cnts; _ } ->
+    Array.map (fun o -> (Prelude.obj_state t.env.Sysenv.prelude o).count) cnts
   | Sm { cnt_addr; _ } -> Array.map (fun a -> Shmem.peek (Sysenv.mem t.env) a) cnt_addr
 
 let tokens_delivered t = Array.fold_left ( + ) 0 (output_counts t)

@@ -15,8 +15,16 @@ let mode_name = function
 (* CPU cost of searching/updating a bucket of [n] entries. *)
 let bucket_work n = 40 + (6 * n)
 
-(* Messaging-mode bucket state. *)
-type bucket = { mutable entries : (int * int) list }
+(* Bucket layout, shared by every representation: word 0 = entry count,
+   then (key, value) pairs.  The messaging/adaptive reprs hold it as one
+   flat int array per bucket (a single unboxed block, preallocated at
+   capacity — steady-state puts allocate nothing); the shared-memory
+   repr holds the same layout in simulated coherent memory. *)
+let off_count = 0
+
+let off_pairs = 1
+
+type bucket = int array
 
 type repr =
   | Msg of {
@@ -35,15 +43,11 @@ type repr =
 
 type t = { env : Sysenv.t; buckets : int; capacity : int; repr : repr }
 
-(* SM bucket layout: word 0 = entry count, then (key, value) pairs. *)
-let off_count = 0
-
-let off_pairs = 1
-
 let create env ?(buckets = 64) ?(bucket_capacity = 64) ~mode ~node_procs () =
   if buckets <= 0 then invalid_arg "Dht.create: buckets must be positive";
   if Array.length node_procs = 0 then invalid_arg "Dht.create: no node processors";
   let home i = node_procs.(i mod Array.length node_procs) in
+  let fresh_bucket () = Array.make (off_pairs + (2 * bucket_capacity)) 0 in
   let repr =
     match mode with
     | Messaging access ->
@@ -53,7 +57,7 @@ let create env ?(buckets = 64) ?(bucket_capacity = 64) ~mode ~node_procs () =
           access;
           objs =
             Array.init buckets (fun i ->
-                Prelude.make_obj env.Sysenv.prelude ~home:(home i) { entries = [] });
+                Prelude.make_obj env.Sysenv.prelude ~home:(home i) (fresh_bucket ()));
         }
     | Adaptive ->
       let ad = Adaptive.create (Sysenv.runtime env) ~explore:6 () in
@@ -62,7 +66,7 @@ let create env ?(buckets = 64) ?(bucket_capacity = 64) ~mode ~node_procs () =
           ad;
           objs =
             Array.init buckets (fun i ->
-                Prelude.make_obj env.Sysenv.prelude ~home:(home i) { entries = [] });
+                Prelude.make_obj env.Sysenv.prelude ~home:(home i) (fresh_bucket ()));
           get_site = Adaptive.site ad ~name:"dht.get";
           put_site = Adaptive.site ad ~name:"dht.put";
           scan_site = Adaptive.site ad ~name:"dht.range_sum";
@@ -86,44 +90,76 @@ let n_buckets t = t.buckets
 let bucket_of_key t key = abs (key * 2654435761) mod t.buckets
 
 (* ------------------------------------------------------------------ *)
+(* Flat-bucket primitives                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bkt_count (b : bucket) = b.(off_count)
+
+(* Slot index of [key], or -1.  The scan recursion lives at top level:
+   an inner [let rec] would close over [b]/[key]/[n] and allocate ~6
+   minor words per lookup — on the path every get/put/preload takes. *)
+let rec bkt_find_from (b : bucket) key n s =
+  if s >= n then -1
+  else if b.(off_pairs + (2 * s)) = key then s
+  else bkt_find_from b key n (s + 1)
+
+let bkt_find (b : bucket) key = bkt_find_from b key b.(off_count) 0
+
+let bkt_set (b : bucket) s value = b.(off_pairs + (2 * s) + 1) <- value
+
+let bkt_append (b : bucket) key value =
+  let n = b.(off_count) in
+  b.(off_pairs + (2 * n)) <- key;
+  b.(off_pairs + (2 * n) + 1) <- value;
+  b.(off_count) <- n + 1
+
+(* ------------------------------------------------------------------ *)
 (* Messaging bodies (run at the bucket's home)                        *)
 (* ------------------------------------------------------------------ *)
 
 let method_get key (b : bucket) =
-  let* () = Thread.compute (bucket_work (List.length b.entries)) in
-  Thread.return (List.assoc_opt key b.entries)
+  let* () = Thread.compute (bucket_work (bkt_count b)) in
+  match bkt_find b key with
+  | -1 -> Thread.return None
+  | s -> Thread.return (Some b.(off_pairs + (2 * s) + 1))
 
 let method_put t key value (b : bucket) =
-  let* () = Thread.compute (bucket_work (List.length b.entries)) in
-  if List.mem_assoc key b.entries then begin
-    b.entries <- (key, value) :: List.remove_assoc key b.entries;
+  let* () = Thread.compute (bucket_work (bkt_count b)) in
+  match bkt_find b key with
+  | -1 ->
+    if bkt_count b >= t.capacity then failwith "Dht.put: bucket full"
+    else begin
+      bkt_append b key value;
+      Thread.return ()
+    end
+  | s ->
+    bkt_set b s value;
     Thread.return ()
-  end
-  else if List.length b.entries >= t.capacity then failwith "Dht.put: bucket full"
-  else begin
-    b.entries <- (key, value) :: b.entries;
-    Thread.return ()
-  end
 
 let method_sum (b : bucket) =
-  let* () = Thread.compute (bucket_work (List.length b.entries)) in
-  Thread.return (List.fold_left (fun acc (_, v) -> acc + v) 0 b.entries)
+  let* () = Thread.compute (bucket_work (bkt_count b)) in
+  let n = bkt_count b in
+  let acc = ref 0 in
+  for s = 0 to n - 1 do
+    acc := !acc + b.(off_pairs + (2 * s) + 1)
+  done;
+  Thread.return !acc
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let obj_home objs i = Prelude.obj_home objs.(i)
+let obj_home p objs i = Prelude.obj_home p objs.(i)
 
-let msg_call rt ~access objs i body =
+let msg_call p rt ~access objs i body =
   Runtime.scope rt ~result_words:2
-    (Runtime.call rt ~access ~home:(obj_home objs i) ~args_words:8 ~result_words:2
-       (body (Prelude.obj_state objs.(i))))
+    (Runtime.call rt ~access ~home:(obj_home p objs i) ~args_words:8 ~result_words:2
+       (body (Prelude.obj_state p objs.(i))))
 
-let adapt_call ad ~site objs i body =
+let adapt_call p ad ~site objs i body =
   Adaptive.scope ad
-    (Adaptive.call ad ~site ~home:(obj_home objs i) ~args_words:8 ~result_words:2
-       (body (Prelude.obj_state objs.(i))))
+    (Adaptive.call ad ~site ~home:(obj_home p objs i) ~args_words:8 ~result_words:2
+       (body (Prelude.obj_state p objs.(i))))
 
 (* Shared-memory bucket search: scan the pair area under the bucket
    lock, reading every key it passes. *)
@@ -179,23 +215,27 @@ let sm_sum_bucket mem locks bases i =
       go 0 0)
 
 let get t key =
+  let p = t.env.Sysenv.prelude in
   match t.repr with
-  | Msg { rt; access; objs } -> msg_call rt ~access objs (bucket_of_key t key) (method_get key)
+  | Msg { rt; access; objs } ->
+    msg_call p rt ~access objs (bucket_of_key t key) (method_get key)
   | Adapt { ad; objs; get_site; _ } ->
-    adapt_call ad ~site:get_site objs (bucket_of_key t key) (method_get key)
+    adapt_call p ad ~site:get_site objs (bucket_of_key t key) (method_get key)
   | Sm { mem; bases; locks; _ } -> sm_get mem locks bases t key
 
 let put t ~key ~value =
+  let p = t.env.Sysenv.prelude in
   match t.repr with
   | Msg { rt; access; objs } ->
-    msg_call rt ~access objs (bucket_of_key t key) (method_put t key value)
+    msg_call p rt ~access objs (bucket_of_key t key) (method_put t key value)
   | Adapt { ad; objs; put_site; _ } ->
-    adapt_call ad ~site:put_site objs (bucket_of_key t key) (method_put t key value)
+    adapt_call p ad ~site:put_site objs (bucket_of_key t key) (method_put t key value)
   | Sm { mem; bases; locks; capacity } -> sm_put mem locks bases capacity t ~key ~value
 
 let range_sum t ~first_bucket ~n_buckets =
   if n_buckets <= 0 then invalid_arg "Dht.range_sum: empty range";
   let bucket_at j = (first_bucket + j) mod t.buckets in
+  let p = t.env.Sysenv.prelude in
   match t.repr with
   | Msg { rt; access; objs } ->
     Runtime.scope rt ~result_words:2
@@ -204,8 +244,8 @@ let range_sum t ~first_bucket ~n_buckets =
          else
            let i = bucket_at j in
            let* s =
-             Runtime.call rt ~access ~home:(obj_home objs i) ~args_words:8 ~result_words:2
-               (method_sum (Prelude.obj_state objs.(i)))
+             Runtime.call rt ~access ~home:(obj_home p objs i) ~args_words:8 ~result_words:2
+               (method_sum (Prelude.obj_state p objs.(i)))
            in
            go (j + 1) (acc + s)
        in
@@ -217,9 +257,9 @@ let range_sum t ~first_bucket ~n_buckets =
          else
            let i = bucket_at j in
            let* s =
-             Adaptive.call ad ~site:scan_site ~home:(obj_home objs i) ~args_words:8
+             Adaptive.call ad ~site:scan_site ~home:(obj_home p objs i) ~args_words:8
                ~result_words:2
-               (method_sum (Prelude.obj_state objs.(i)))
+               (method_sum (Prelude.obj_state p objs.(i)))
            in
            go (j + 1) (acc + s)
        in
@@ -234,6 +274,52 @@ let range_sum t ~first_bucket ~n_buckets =
     go 0 0
 
 (* ------------------------------------------------------------------ *)
+(* Direct access (not simulated)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [preload]/[peek] bypass the simulation: million-entry tables are
+   built (and spot-checked) in real time before the clock starts, not
+   one simulated put at a time. *)
+
+let preload t ~key ~value =
+  let i = bucket_of_key t key in
+  match t.repr with
+  | Msg { objs; _ } | Adapt { objs; _ } ->
+    let b = Prelude.obj_state t.env.Sysenv.prelude objs.(i) in
+    (match bkt_find b key with
+    | -1 ->
+      if bkt_count b >= t.capacity then failwith "Dht.preload: bucket full"
+      else bkt_append b key value
+    | s -> bkt_set b s value)
+  | Sm { mem; bases; _ } ->
+    let base = bases.(i) in
+    let count = Shmem.peek mem (base + off_count) in
+    let rec find s = if s >= count then -1 else if Shmem.peek mem (base + off_pairs + (2 * s)) = key then s else find (s + 1) in
+    (match find 0 with
+    | -1 ->
+      if count >= t.capacity then failwith "Dht.preload: bucket full"
+      else begin
+        Shmem.poke mem (base + off_pairs + (2 * count)) key;
+        Shmem.poke mem (base + off_pairs + (2 * count) + 1) value;
+        Shmem.poke mem (base + off_count) (count + 1)
+      end
+    | s -> Shmem.poke mem (base + off_pairs + (2 * s) + 1) value)
+
+let peek t key =
+  let i = bucket_of_key t key in
+  match t.repr with
+  | Msg { objs; _ } | Adapt { objs; _ } ->
+    let b = Prelude.obj_state t.env.Sysenv.prelude objs.(i) in
+    (match bkt_find b key with -1 -> None | s -> Some b.(off_pairs + (2 * s) + 1))
+  | Sm { mem; bases; _ } ->
+    let base = bases.(i) in
+    let count = Shmem.peek mem (base + off_count) in
+    let rec find s = if s >= count then -1 else if Shmem.peek mem (base + off_pairs + (2 * s)) = key then s else find (s + 1) in
+    (match find 0 with
+    | -1 -> None
+    | s -> Some (Shmem.peek mem (base + off_pairs + (2 * s) + 1)))
+
+(* ------------------------------------------------------------------ *)
 (* Inspection (not simulated)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -241,7 +327,11 @@ let contents t =
   let pairs =
     match t.repr with
     | Msg { objs; _ } | Adapt { objs; _ } ->
-      Array.to_list objs |> List.concat_map (fun o -> (Prelude.obj_state o).entries)
+      Array.to_list objs
+      |> List.concat_map (fun o ->
+             let b = Prelude.obj_state t.env.Sysenv.prelude o in
+             List.init (bkt_count b)
+               (fun s -> (b.(off_pairs + (2 * s)), b.(off_pairs + (2 * s) + 1))))
     | Sm { mem; bases; _ } ->
       Array.to_list bases
       |> List.concat_map (fun base ->

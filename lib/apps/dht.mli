@@ -57,6 +57,15 @@ val n_buckets : t -> int
 val bucket_of_key : t -> int -> int
 (** The bucket index [key] hashes to. *)
 
+val preload : t -> key:int -> value:int -> unit
+(** [preload t ~key ~value] inserts or updates one entry directly,
+    bypassing the simulation — for building large (10^6-entry) tables
+    before the clock starts.  Raises [Failure] if the bucket is full. *)
+
+val peek : t -> int -> int option
+(** [peek t key] is the value bound to [key], read directly (not
+    simulated). *)
+
 val size : t -> int
 (** Number of entries (not simulated). *)
 

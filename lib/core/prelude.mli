@@ -43,17 +43,22 @@ val machine : t -> Machine.t
 
 (** {1 Objects} *)
 
-type 'state obj
+type 'state obj = private int
 (** An object with mutable local state of type ['state], living on a
-    fixed home processor. *)
+    fixed home processor.  Objects are bare indices into the instance's
+    flat object space: an ['state obj] is an immediate int, so arrays of
+    objects are flat int vectors and object handles are free to copy
+    into simulated messages.  The home and payload live in the store —
+    look them up with {!obj_home} / {!obj_state}. *)
 
 val make_obj : t -> home:int -> 'state -> 'state obj
 (** [make_obj t ~home state] creates an object on processor [home]. *)
 
-val obj_home : 'state obj -> int
-(** The object's home processor. *)
+val obj_home : t -> 'state obj -> int
+(** The object's home processor — one unboxed load from the instance's
+    home table. *)
 
-val obj_state : 'state obj -> 'state
+val obj_state : t -> 'state obj -> 'state
 (** Direct access to the payload — for construction and tests only;
     simulated code must go through {!invoke}. *)
 

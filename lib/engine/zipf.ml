@@ -1,0 +1,31 @@
+type t = { cdf : float array }
+
+let create ~s ~n =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: negative exponent";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. /. (float_of_int (k + 1) ** s));
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. total
+  done;
+  { cdf }
+
+let n t = Array.length t.cdf
+
+(* Smallest rank whose cumulative mass covers [u]. *)
+let rank_of t u =
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sample t rng = rank_of t (Rng.float rng 1.0)
+
+let mass t k = if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

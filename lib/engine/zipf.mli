@@ -1,0 +1,25 @@
+(** Seeded Zipf(s) sampling over ranks [0, n) — the standard model for
+    skewed key popularity (YCSB's "zipfian" distribution): rank [k] is
+    drawn with probability proportional to [1/(k+1)^s].  [s = 0] is
+    uniform; [s] near 1 concentrates a few percent of all traffic on the
+    single hottest rank; [s > 1] is a hot-key regime where a handful of
+    ranks dominate.
+
+    The inverse-CDF table is precomputed once ([O(n)] floats), and each
+    draw is one uniform deviate plus a binary search — deterministic for
+    a given generator stream, like every other stochastic choice in the
+    simulator. *)
+
+type t
+
+val create : s:float -> n:int -> t
+(** [create ~s ~n] precomputes the distribution over ranks [0, n). *)
+
+val n : t -> int
+
+val sample : t -> Rng.t -> int
+(** [sample t rng] draws a rank. *)
+
+val mass : t -> int -> float
+(** [mass t k] is rank [k]'s probability (e.g. the hottest key's traffic
+    share, [mass t 0]). *)

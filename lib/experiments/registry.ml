@@ -18,6 +18,16 @@ let all =
       title = "Extension: object migration vs computation migration";
       plan = Objmig_bench.plan;
     };
+    {
+      id = "dht_zipf";
+      title = "Extension: Zipf-skewed DHT traffic (hot keys at scale)";
+      plan = Dht_zipf.plan;
+    };
+    {
+      id = "social_graph";
+      title = "Extension: social-graph traversal at scale";
+      plan = Social_bench.plan;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -6,7 +6,11 @@ type 'state t = {
   rt : Runtime.t;
   space : 'state Objspace.t;
   words_of : 'state -> int;
-  hints : (int * Objspace.id, int) Hashtbl.t;  (* (processor, object) -> believed home *)
+  n_procs : int;
+  (* (processor, object) -> believed home, keyed by the flat int
+     [object * n_procs + processor] — hint lookups on the forwarding
+     fast path allocate no tuple key. *)
+  hints : (int, int) Hashtbl.t;
   tp : Transport.t;
   call_k : unit Thread.t Transport.kind;
   forward_k : unit Thread.t Transport.kind;
@@ -63,6 +67,7 @@ let create rt space ~words_of =
     rt;
     space;
     words_of;
+    n_procs = Machine.n_procs (Runtime.machine rt);
     hints = Hashtbl.create 64;
     tp;
     call_k;
@@ -84,15 +89,17 @@ let stats t = (machine t).Machine.stats
 (* The caller's current belief about where the object lives.  First use
    consults the (free) name service — afterwards only forwarding keeps
    beliefs up to date, as in Emerald. *)
+let hint_key t ~pid i = ((i : Objspace.id :> int) * t.n_procs) + pid
+
 let hint t ~pid i =
-  match Hashtbl.find_opt t.hints (pid, i) with
+  match Hashtbl.find_opt t.hints (hint_key t ~pid i) with
   | Some h -> h
   | None ->
     let h = Objspace.home t.space i in
-    Hashtbl.replace t.hints (pid, i) h;
+    Hashtbl.replace t.hints (hint_key t ~pid i) h;
     h
 
-let learn t ~pid i home = Hashtbl.replace t.hints (pid, i) home
+let learn t ~pid i home = Hashtbl.replace t.hints (hint_key t ~pid i) home
 
 let forwards t = Stats.get (stats t) "objmig.forwards"
 

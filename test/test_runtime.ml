@@ -92,8 +92,8 @@ let test_prelude_obj_home () =
   let m = machine () in
   let p = Prelude.create m in
   let o = Prelude.make_obj p ~home:6 "payload" in
-  Alcotest.(check int) "home" 6 (Prelude.obj_home o);
-  Alcotest.(check string) "state" "payload" (Prelude.obj_state o)
+  Alcotest.(check int) "home" 6 (Prelude.obj_home p o);
+  Alcotest.(check string) "state" "payload" (Prelude.obj_state p o)
 
 (* ------------------------------------------------------------------ *)
 (* Runtime.call                                                       *)
@@ -940,7 +940,7 @@ let test_prelude_invoke_mutates_at_home () =
          Prelude.invoke p ~access:Prelude.Rpc counter (fun cell ->
              incr cell;
              Thread.return ())));
-  Alcotest.(check int) "state mutated" 3 !(Prelude.obj_state counter)
+  Alcotest.(check int) "state mutated" 3 !(Prelude.obj_state p counter)
 
 let test_prelude_annotation_preserves_semantics () =
   (* The same program must compute the same answer under both
