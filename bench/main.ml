@@ -39,6 +39,16 @@
                                             (N from CM_JOBS, default 4);
                                             JSON with a speedup field per
                                             experiment (default BENCH_pr4.json)
+     dune exec bench/main.exe -- shards [NAME[,NAME...]] [f]
+                                            paired A/B of sequential vs
+                                            CM_SHARDS-way (default 2) sharded
+                                            runs: interleaved repetitions,
+                                            median-of-8 comparison, a run
+                                            digest cross-check (mismatch
+                                            fails), and per-shard fired
+                                            counts (default specs fig2 +
+                                            dht_zipf + social_graph, JSON
+                                            BENCH_pr9.json)
      dune exec bench/main.exe -- big [f]    the million-object scale probes:
                                             10^6 registrations into the flat
                                             vs boxed object store, full-size
@@ -150,14 +160,24 @@ let specs ~full =
       thunk =
         (fun () ->
           ignore (Dht_zipf.measure ~quick:(not full) (Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) 1.3));
-      probe = None;
+      probe =
+        Some
+          (fun () ->
+            fst
+              (Dht_zipf.measure_with_machine ~quick:(not full)
+                 (Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) 1.3));
     };
     {
       name = "social_graph:walks";
       thunk =
         (fun () ->
           ignore (Social_bench.measure ~quick:(not full) Social_bench.Walk Cm_core.Prelude.Migrate));
-      probe = None;
+      probe =
+        Some
+          (fun () ->
+            fst
+              (Social_bench.measure_with_machine ~quick:(not full) Social_bench.Walk
+                 Cm_core.Prelude.Migrate));
     };
   ]
 
@@ -171,6 +191,9 @@ let json_str name v = Printf.sprintf "%S: %S" name v
 let json_float name v = Printf.sprintf "%S: %.6e" name v
 
 let json_int name v = Printf.sprintf "%S: %d" name v
+
+let json_int_array name vs =
+  Printf.sprintf "%S: [%s]" name (String.concat ", " (List.map string_of_int (Array.to_list vs)))
 
 let write_json ~mode path records =
   let oc = open_out path in
@@ -190,6 +213,8 @@ type result = {
   events_fired : int option;
   minor_words_per_run : float;
   major_words_per_run : float;
+  shards : int;  (* shard count the runs executed under — provenance *)
+  shard_fired : int array;  (* per-shard fired events, from the probe run; [||] without a probe *)
 }
 
 (* GC cost of one run, measured directly (not via Bechamel's allocation
@@ -219,6 +244,7 @@ let alloc_of_run thunk =
 
 let measure ~quota ~limit spec =
   let open Bechamel in
+  let shard_counts = ref [||] in
   let test = Test.make ~name:spec.name (Staged.stage spec.thunk) in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
@@ -237,8 +263,9 @@ let measure ~quota ~limit spec =
     | None -> (None, None)
     | Some probe ->
       let machine = probe () in
+      shard_counts := Cm_machine.Machine.shard_fired machine;
       ( Some (Cm_machine.Machine.now machine),
-        Some (Cm_engine.Sim.events_fired machine.Cm_machine.Machine.sim) )
+        Some (Cm_machine.Machine.events_fired machine) )
   in
   let minor_words_per_run, major_words_per_run = alloc_of_run spec.thunk in
   (match !estimate with
@@ -259,6 +286,8 @@ let measure ~quota ~limit spec =
     events_fired;
     minor_words_per_run;
     major_words_per_run;
+    shards = Cm_machine.Machine.default_shards ();
+    shard_fired = !shard_counts;
   }
 
 let result_fields r =
@@ -272,10 +301,11 @@ let result_fields r =
       ]
     | _ -> []
   in
-  [ json_str "name" r.r_name ]
+  [ json_str "name" r.r_name; json_int "shards" r.shards ]
   @ opt (json_float "ns_per_run") r.ns_per_run
   @ opt (json_int "sim_cycles") r.sim_cycles
   @ opt (json_int "events_fired") r.events_fired
+  @ (if r.shard_fired = [||] then [] else [ json_int_array "shard_fired" r.shard_fired ])
   @ [
       json_float "minor_words_per_run" r.minor_words_per_run;
       json_float "major_words_per_run" r.major_words_per_run;
@@ -395,6 +425,94 @@ let run_ab ~names ~json () =
       selected
   in
   match json with Some path -> write_json ~mode:"ab" path records | None -> ()
+
+(* --- shards mode: paired sequential vs sharded-PDES comparison ----- *)
+
+(* One timed run at shard count [k]: wall-clock ns and minor words. *)
+let shards_sample k thunk =
+  Cm_machine.Machine.set_default_shards k;
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  thunk ();
+  let t1 = Unix.gettimeofday () in
+  ((t1 -. t0) *. 1e9, Gc.minor_words () -. m0)
+
+(* Paired A/B of the sequential (shards=1) and windowed K-shard runs in
+   one process, same discipline as {!run_ab}: interleaved repetitions,
+   median-of-8 comparison, and — where the spec exposes its machine — a
+   digest cross-check plus the sharded run's per-shard fired counts.
+   Equal digests are this mode's acceptance gate: the K-shard run must
+   be bit-identical to the sequential one (see DESIGN.md §17), so a
+   mismatch fails the whole pass.  Wall-clock is reported honestly; on
+   a single hardware core the windowed run adds barrier/merge work for
+   no concurrency, so speedups below 1.0x are the expected reading
+   there (the DESIGN.md §12 precedent). *)
+let run_shards ~k ~names ~json () =
+  Printf.printf "\n=== Paired A/B: sequential vs %d-shard windowed runs (interleaved, median of 8) ===\n%!"
+    k;
+  let reps = 8 in
+  let selected =
+    List.map
+      (fun name ->
+        match List.find_opt (fun s -> s.name = name) (specs ~full:false) with
+        | Some s -> s
+        | None ->
+          List.iter (fun s -> prerr_endline s.name) (specs ~full:false);
+          failwith ("no such spec: " ^ name))
+      names
+  in
+  let records =
+    List.map
+      (fun spec ->
+        (* Warm both variants before sampling. *)
+        ignore (shards_sample 1 spec.thunk);
+        ignore (shards_sample k spec.thunk);
+        let s1_ns = Array.make reps 0. and sk_ns = Array.make reps 0. in
+        for r = 0 to reps - 1 do
+          let ns, _ = shards_sample 1 spec.thunk in
+          s1_ns.(r) <- ns;
+          let ns, _ = shards_sample k spec.thunk in
+          sk_ns.(r) <- ns
+        done;
+        let digests_equal, shard_fired =
+          match spec.probe with
+          | None -> (None, [||])
+          | Some probe ->
+            Cm_machine.Machine.set_default_shards 1;
+            let d1 = Cm_machine.Machine.digest (probe ()) in
+            Cm_machine.Machine.set_default_shards k;
+            let mk = probe () in
+            let dk = Cm_machine.Machine.digest mk in
+            (Some (d1 = dk), Cm_machine.Machine.shard_fired mk)
+        in
+        Cm_machine.Machine.set_default_shards 1;
+        let s1_med = median s1_ns and sk_med = median sk_ns in
+        let speedup = s1_med /. sk_med in
+        Printf.printf "%-28s seq %10.0f ns | %d shards %10.0f ns | %5.2fx%s\n%!" spec.name s1_med
+          k sk_med speedup
+          (match digests_equal with
+          | Some true -> "  digests equal"
+          | Some false -> "  DIGEST MISMATCH"
+          | None -> "");
+        (match digests_equal with
+        | Some false -> failwith ("shards: sequential vs sharded digests differ for " ^ spec.name)
+        | Some true | None -> ());
+        [
+          json_str "name" spec.name;
+          json_int "reps" reps;
+          json_int "shards" k;
+          json_float "seq_ns_median" s1_med;
+          json_float "sharded_ns_median" sk_med;
+          json_float "speedup" speedup;
+        ]
+        @ (if shard_fired = [||] then [] else [ json_int_array "shard_fired" shard_fired ])
+        @
+        match digests_equal with
+        | Some b -> [ json_str "digests_equal" (string_of_bool b) ]
+        | None -> [])
+      selected
+  in
+  match json with Some path -> write_json ~mode:"shards" path records | None -> ()
 
 (* --- sweep mode: full-sweep wall clock at -j 1 vs -j N ------------ *)
 
@@ -745,7 +863,7 @@ let () =
   let quick = mode = "quick" in
   if
     mode <> "bench" && mode <> "smoke" && mode <> "one" && mode <> "sweep" && mode <> "ab"
-    && mode <> "big"
+    && mode <> "big" && mode <> "shards"
   then begin
     print_endline "Reproduction of every table and figure (see EXPERIMENTS.md for discussion):";
     Registry.run_all ~quick ()
@@ -763,6 +881,18 @@ let () =
     in
     let json = if Array.length Sys.argv > 3 then Some Sys.argv.(3) else None in
     run_ab ~names ~json ()
+  | "shards" ->
+    let names =
+      String.split_on_char ','
+        (json_arg "fig2:counting-throughput,dht_zipf:hot-keys,social_graph:walks")
+    in
+    let json = Some (if Array.length Sys.argv > 3 then Sys.argv.(3) else "BENCH_pr9.json") in
+    let k =
+      match Option.bind (Sys.getenv_opt "CM_SHARDS") int_of_string_opt with
+      | Some n when n >= 2 -> n
+      | Some _ | None -> 2
+    in
+    run_shards ~k ~names ~json ()
   | "smoke" ->
     (* Fast pass for CI: enough to catch gross hot-path regressions and
        prove the measurement/JSON plumbing works. *)

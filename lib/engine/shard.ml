@@ -1,0 +1,349 @@
+(* Conservative sharded discrete-event execution (PDES).
+
+   One machine's processors are partitioned into K shards, each owning a
+   {!Sim} of its own, all K sharing one registry — handler table plus
+   the machine-global scheduling counter.  Execution proceeds in
+   windows: with [T] the earliest pending event time across shards and
+   [L] the topology's minimum positive link latency (the lookahead),
+   every event in [T, W = T + L) can fire without hearing from any
+   other shard — a message sent at time [s >= T] arrives at
+   [s + latency >= T + L = W].  Every network send (same-shard ones
+   included, so the protocol is shard-count-invariant) is pushed into
+   the destination shard's mailbox, and mailboxes are merged at the
+   window barrier.
+
+   Within a window, events fire in exact machine-global (time, seq)
+   order: a K-way tournament repeatedly fires the least head key among
+   the shards (and the agenda).  Because every scheduling action draws
+   its seq from the shared counter, the draws happen at the same point
+   of the computation as in a sequential run and carry the same values
+   — inductively, the whole event order is the sequential order, event
+   for event.  A send captures its seq on the source shard
+   ({!Sim.take_send_seq}); the barrier merge sorts arrivals by
+   (time, seq) and splices each into the destination sim
+   ({!Sim.post_arrival}) at exactly the position the sequential
+   schedule gave it.  Digests at any shard count are therefore
+   bit-identical to the sequential run — not approximately, by
+   construction.
+
+   The tournament serializes sub-cycle interleaving on the calling
+   domain; what the sharding buys is the conservative-PDES structure
+   itself — per-shard queues, batched cross-shard traffic, the
+   causality sanitizer — proven digest-exact before any
+   domains-parallel runner relaxes the in-window order (see DESIGN.md
+   §17). *)
+
+(* Mailbox entry layout: packed ints, one closure lane for the rare
+   closure-delivery sends (CPS / sanitizer paths); handler deliveries
+   ([e_hid >= 0]) never touch it.  [e_send] and [e_src] ride along for
+   the causality sanitizer's diagnostic only. *)
+let e_time = 0
+
+let e_seq = 1
+
+let e_send = 2
+
+let e_src = 3
+
+let e_hid = 4
+
+let e_arg = 5
+
+let stride = 6
+
+let no_fn : unit -> unit = ignore
+
+type mbox = {
+  mutable buf : int array;
+  mutable fns : (unit -> unit) array;
+  mutable len : int;  (* entries *)
+  mutable idx : int array;  (* merge-time permutation scratch *)
+}
+
+let mbox () = { buf = [||]; fns = [||]; len = 0; idx = [||] }
+
+type t = {
+  sims : Sim.t array;
+  lookahead : int;
+  shard_of : int array;  (* processor -> shard *)
+  mailboxes : mbox array;  (* per destination shard *)
+  mutable agenda : (int * int * (unit -> unit)) list;  (* (time, seq, fn), sorted *)
+  mutable agenda_fired : int;
+  mutable last_agenda_time : int;
+  mutable window_end : int;  (* causality floor for the current merge *)
+  mutable global_clock : int;
+}
+
+let create ~sims ~lookahead ~shard_of =
+  let k = Array.length sims in
+  if k < 2 then invalid_arg "Shard.create: need at least 2 shards";
+  if lookahead <= 0 then invalid_arg "Shard.create: lookahead must be positive";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= k then invalid_arg "Shard.create: shard_of entry out of range")
+    shard_of;
+  {
+    sims;
+    lookahead;
+    shard_of;
+    mailboxes = Array.init k (fun _ -> mbox ());
+    agenda = [];
+    agenda_fired = 0;
+    last_agenda_time = 0;
+    window_end = 0;
+    global_clock = 0;
+  }
+
+let shards t = Array.length t.sims
+
+let lookahead t = t.lookahead
+
+let sim_of_proc t p = t.sims.(t.shard_of.(p))
+
+let shard_of_proc t p = t.shard_of.(p)
+
+(* --- mailbox hot path ----------------------------------------------- *)
+
+let[@inline never] mbox_grow mb =
+  let cap = max 64 (2 * Array.length mb.fns) in
+  let buf = Array.make (cap * stride) 0 in
+  Array.blit mb.buf 0 buf 0 (mb.len * stride);
+  mb.buf <- buf;
+  let fns = Array.make cap no_fn in
+  Array.blit mb.fns 0 fns 0 mb.len;
+  mb.fns <- fns
+
+(* Queue one send for the barrier merge.  [seq] is the draw
+   {!Sim.take_send_seq} made for the send on its source sim,
+   [time = send + latency] the arrival cycle.  Pure int stores unless
+   the send carries a closure. *)
+let push t ~time ~send ~seq ~src ~dst ~hid ~arg fn =
+  let mb = t.mailboxes.(t.shard_of.(dst)) in
+  if mb.len = Array.length mb.fns then mbox_grow mb;
+  let e = mb.len in
+  mb.len <- e + 1;
+  let base = e * stride in
+  let buf = mb.buf in
+  Array.unsafe_set buf (base + e_time) time;
+  Array.unsafe_set buf (base + e_seq) seq;
+  Array.unsafe_set buf (base + e_send) send;
+  Array.unsafe_set buf (base + e_src) src;
+  Array.unsafe_set buf (base + e_hid) hid;
+  Array.unsafe_set buf (base + e_arg) arg;
+  if fn != no_fn then Array.unsafe_set mb.fns e fn
+
+(* --- barrier merge --------------------------------------------------- *)
+
+(* (arrival time, seq) on packed entries — a total order, since seqs
+   from the shared counter are globally unique; no stability
+   requirement on the sort. *)
+let[@inline always] entry_less buf i j =
+  let bi = i * stride and bj = j * stride in
+  let ti = Array.unsafe_get buf (bi + e_time) and tj = Array.unsafe_get buf (bj + e_time) in
+  if ti <> tj then ti < tj
+  else Array.unsafe_get buf (bi + e_seq) < Array.unsafe_get buf (bj + e_seq)
+
+(* In-place heapsort of the first [n] permutation slots — deterministic,
+   closure-free, O(n log n) worst case (entries arrive as K sorted-ish
+   runs, which defeats naive insertion sort). *)
+let sift_down buf idx root limit =
+  let r = ref root in
+  let continue_ = ref true in
+  while !continue_ do
+    let child = (2 * !r) + 1 in
+    if child >= limit then continue_ := false
+    else begin
+      let child =
+        if child + 1 < limit && entry_less buf idx.(child) idx.(child + 1) then child + 1
+        else child
+      in
+      if entry_less buf idx.(!r) idx.(child) then begin
+        let tmp = idx.(!r) in
+        idx.(!r) <- idx.(child);
+        idx.(child) <- tmp;
+        r := child
+      end
+      else continue_ := false
+    end
+  done
+
+let sort_idx buf idx n =
+  for root = (n / 2) - 1 downto 0 do
+    sift_down buf idx root n
+  done;
+  for last = n - 1 downto 1 do
+    let tmp = idx.(0) in
+    idx.(0) <- idx.(last);
+    idx.(last) <- tmp;
+    sift_down buf idx 0 last
+  done
+
+let[@inline never] causality_violation t ~time ~send ~src =
+  Check.failf
+    "Shard: cross-shard event from proc %d (sent at %d) arrives at %d, inside the completed \
+     window (< %d)"
+    src send time t.window_end
+
+(* Merge one destination shard's mailbox into its sim, in (time, seq)
+   order.  Every arrival must land at or after the window barrier —
+   the conservative invariant the lookahead guarantees; under {!Check}
+   each entry is verified (a violation here means a latency below the
+   declared lookahead, or a [For_testing] injection). *)
+let merge_one t d =
+  let mb = t.mailboxes.(d) in
+  let n = mb.len in
+  if n > 0 then begin
+    if Array.length mb.idx < n then mb.idx <- Array.make (Array.length mb.fns) 0;
+    for i = 0 to n - 1 do
+      mb.idx.(i) <- i
+    done;
+    if n > 1 then sort_idx mb.buf mb.idx n;
+    let sim = t.sims.(d) in
+    let checking = Check.enabled () in
+    for r = 0 to n - 1 do
+      let e = mb.idx.(r) in
+      let base = e * stride in
+      let time = mb.buf.(base + e_time) and seq = mb.buf.(base + e_seq) in
+      if checking && time < t.window_end then
+        causality_violation t ~time ~send:mb.buf.(base + e_send) ~src:mb.buf.(base + e_src);
+      let hid = mb.buf.(base + e_hid) and arg = mb.buf.(base + e_arg) in
+      (* lint: allow hot-alloc — Array.get on the closure lane types as an arrow, which the arity heuristic mistakes for a partial application; nothing is built (Sim.fire pattern) *)
+      let fn = mb.fns.(e) in
+      Sim.post_arrival sim ~time ~seq ~hid ~arg fn;
+      if fn != no_fn then mb.fns.(e) <- no_fn
+    done;
+    mb.len <- 0
+  end
+
+(* --- the agenda ------------------------------------------------------ *)
+
+(* Machine-global callbacks at absolute cycles (the workload driver's
+   warmup snapshot): registered at setup, each draws a seq from the
+   shared counter exactly as the setup-time [Sim.at] it replaces would,
+   and the tournament fires it at that precise global position — after
+   every event below its (time, seq), before every event above.  The
+   callback therefore observes all shards coherently at its cycle, even
+   mid-window.  Insertion keeps the list (time, seq)-sorted (seqs
+   ascend at registration, so this is registration order per time). *)
+let at_global t time fn =
+  let seq = Sim.take_send_seq t.sims.(0) in
+  let rec insert = function
+    | [] -> [ (time, seq, fn) ]
+    | (t0, _, _) :: _ as rest when time < t0 -> (time, seq, fn) :: rest
+    | e :: rest -> e :: insert rest
+  in
+  t.agenda <- insert t.agenda
+
+(* --- the window loop ------------------------------------------------- *)
+
+let run ?until t =
+  let k = Array.length t.sims in
+  let horizon = match until with Some h -> h | None -> max_int in
+  (* Cached tournament keys per shard — a shard's head only changes
+     when that shard fires (local schedules stay local; cross-shard
+     effects wait in mailboxes until the barrier), so one refresh per
+     fired event suffices. *)
+  let kt = Array.make k max_int and ks = Array.make k max_int in
+  let refresh i =
+    let pt, ps = Sim.peek_key t.sims.(i) in
+    kt.(i) <- pt;
+    ks.(i) <- ps
+  in
+  let refresh_all () =
+    for i = 0 to k - 1 do
+      refresh i
+    done
+  in
+  (* Fire every event (and agenda callback) with time < [w] in exact
+     machine-global (time, seq) order. *)
+  let drain w =
+    let continue_ = ref true in
+    while !continue_ do
+      let best = ref (-1) in
+      let bt = ref w and bs = ref min_int in
+      for i = 0 to k - 1 do
+        if kt.(i) < !bt || (kt.(i) = !bt && ks.(i) < !bs) then begin
+          best := i;
+          bt := kt.(i);
+          bs := ks.(i)
+        end
+      done;
+      (match t.agenda with
+      | (g, s, _) :: _ when g < !bt || (g = !bt && s < !bs) -> best := k
+      | _ -> ());
+      if !best < 0 then continue_ := false
+      else begin
+        (* The machine-global clock tracks the firing event — exactly
+           the sequential run's clock at this point, so mid-run
+           [Machine.now] reads (measurement probes) see the same value
+           at any shard count. *)
+        t.global_clock <- !bt;
+        if !best = k then begin
+          match t.agenda with
+          | (time, _, fn) :: rest ->
+            t.agenda <- rest;
+            t.agenda_fired <- t.agenda_fired + 1;
+            t.last_agenda_time <- time;
+            fn ();
+            (* The callback may have scheduled on any shard. *)
+            refresh_all ()
+          | [] -> assert false
+        end
+        else begin
+          ignore (Sim.step t.sims.(!best) : bool);
+          refresh !best
+        end
+      end
+    done
+  in
+  let rec window () =
+    refresh_all ();
+    let tmin = ref max_int in
+    for i = 0 to k - 1 do
+      if kt.(i) < !tmin then tmin := kt.(i)
+    done;
+    (match t.agenda with (g, _, _) :: _ when g < !tmin -> tmin := g | _ -> ());
+    if !tmin = max_int then
+      (* Drained: the final clock is the last fired event's time. *)
+      ()
+    else if !tmin > horizon then
+      (* Horizon stop with work remaining, as [Sim.run ~until]. *)
+      t.global_clock <- horizon
+    else begin
+      (* The window [tmin, w), clamped at the horizon. *)
+      let w = !tmin + t.lookahead in
+      let w = if horizon <> max_int && horizon + 1 < w then horizon + 1 else w in
+      drain w;
+      t.window_end <- w;
+      for d = 0 to k - 1 do
+        merge_one t d
+      done;
+      window ()
+    end
+  in
+  let finish () =
+    let c = ref t.last_agenda_time in
+    for i = 0 to k - 1 do
+      if Sim.now t.sims.(i) > !c then c := Sim.now t.sims.(i)
+    done;
+    if !c > t.global_clock then t.global_clock <- !c
+  in
+  (try
+     window ();
+     finish ()
+   with Sim.Stop -> finish ())
+
+let clock t = t.global_clock
+
+let fired t =
+  let total = ref t.agenda_fired in
+  Array.iter (fun s -> total := !total + Sim.events_fired s) t.sims;
+  !total
+
+let shard_fired t = Array.map Sim.events_fired t.sims
+
+(* Test hook: inject an entry behind the causality floor so the
+   sanitizer's firing is provable without faking a broken topology. *)
+module For_testing = struct
+  let push_raw = push
+end

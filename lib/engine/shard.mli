@@ -1,0 +1,108 @@
+(** Conservative sharded discrete-event execution.
+
+    Partitions one machine's processors into K shards, each owning its
+    own {!Sim} (all sharing one {!Sim.registry} — handler table plus
+    the machine-global scheduling counter), and runs them in
+    conservative windows of the topology's minimum positive link
+    latency (the {e lookahead}).  Cross-shard — in fact {e all} —
+    network sends are queued into per-destination-shard mailboxes and
+    merged at each window barrier in (arrival time, seq) order, spliced
+    into the destination sim at the position the sequential schedule
+    gave them ({!Sim.post_arrival}).  Within a window, events fire in
+    exact machine-global (time, seq) order via a K-way tournament, so
+    every counter draw — and with it every event order — is
+    bit-identical to the sequential run at any shard count.  See
+    DESIGN.md §17. *)
+
+type t
+
+val no_fn : unit -> unit
+(** The "no closure" payload for handler deliveries through {!push}
+    (compared by physical identity — always pass this exact value, not
+    your own [ignore]). *)
+
+val create : sims:Sim.t array -> lookahead:int -> shard_of:int array -> t
+(** [create ~sims ~lookahead ~shard_of] couples [K >= 2] sims (each
+    created with a shared registry) into one windowed machine.
+    [shard_of.(p)] is the shard owning processor [p]; [lookahead] must
+    be positive ({!Topology.min_positive_latency}).  Raises
+    [Invalid_argument] otherwise. *)
+
+val shards : t -> int
+(** Number of shards. *)
+
+val lookahead : t -> int
+(** The conservative window width, in cycles. *)
+
+val sim_of_proc : t -> int -> Sim.t
+(** [sim_of_proc t p] is the sim owning processor [p]. *)
+
+val shard_of_proc : t -> int -> int
+(** [shard_of_proc t p] is the shard index owning processor [p]. *)
+
+val push :
+  t ->
+  time:int ->
+  send:int ->
+  seq:int ->
+  src:int ->
+  dst:int ->
+  hid:int ->
+  arg:int ->
+  (unit -> unit) ->
+  unit
+(** [push t ~time ~send ~seq ~src ~dst ~hid ~arg fn] queues a network
+    send from processor [src] to processor [dst], arriving at [time],
+    for the next barrier merge.  [seq] is the draw {!Sim.take_send_seq}
+    made for the send on the source sim; [send] (the send cycle) and
+    [src] feed the causality sanitizer's diagnostic.  [hid >= 0]
+    delivers through the shared handler registry with [arg]
+    (allocation-free); [hid = -1] runs [fn] on arrival.  Sends must go
+    through here for {e every} destination, same-shard included — the
+    protocol must not depend on the partition. *)
+
+val at_global : t -> int -> (unit -> unit) -> unit
+(** [at_global t time fn] schedules a machine-global callback at
+    absolute cycle [time].  It draws a seq from the shared counter at
+    registration — exactly as the setup-time [Sim.at] it replaces
+    would — and fires at that precise global position: after every
+    event below its (time, seq), before every event above, all shards
+    coherent at [time]. *)
+
+val run : ?until:int -> t -> unit
+(** [run ?until t] executes windows until every shard's queue and the
+    agenda are empty, a handler raises {!Sim.Stop}, or the next event
+    lies past [until] (the global clock is then left at [until], as
+    [Sim.run ~until]). *)
+
+val clock : t -> int
+(** [clock t] is the machine-global clock: mid-run, the time of the
+    event currently firing (the tournament fires in exact global order,
+    so this is the sequential run's clock at the same point);
+    afterwards, the last fired event's time (or [until] when the run
+    stopped at the horizon). *)
+
+val fired : t -> int
+(** [fired t] is the total events executed across all shards plus
+    agenda callbacks. *)
+
+val shard_fired : t -> int array
+(** [shard_fired t] is the per-shard fired-event counts (agenda
+    callbacks excluded) — bench provenance. *)
+
+(** Test-only access. *)
+module For_testing : sig
+  val push_raw :
+    t ->
+    time:int ->
+    send:int ->
+    seq:int ->
+    src:int ->
+    dst:int ->
+    hid:int ->
+    arg:int ->
+    (unit -> unit) ->
+    unit
+  (** {!push} without any routing discipline — used by the sanitizer
+      test to inject an arrival behind the causality floor. *)
+end

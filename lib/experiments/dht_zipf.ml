@@ -46,10 +46,14 @@ let request table zipf _i =
   if Rng.int r 10 < 8 then Thread.ignore_m (Dht.get table key)
   else Dht.put table ~key ~value:key
 
-let measure ~quick mode skew =
+let measure_with_machine ~quick mode skew =
   let sz = size ~quick in
   let machine =
-    Machine.create ~seed:42 ~n_procs:(sz.node_procs + sz.requesters) ~costs:Costs.software ()
+    Machine.create ~seed:42
+      (* The adaptive table learns from machine-global call order and
+         refuses sharded machines (see Adaptive.create). *)
+      ?shards:(match mode with Dht.Messaging _ -> None | _ -> Some 1)
+      ~n_procs:(sz.node_procs + sz.requesters) ~costs:Costs.software ()
   in
   let env = Sysenv.make machine in
   let table =
@@ -64,15 +68,20 @@ let measure ~quick mode skew =
     Dht.preload table ~key:k ~value:k
   done;
   let zipf = Zipf.create ~s:skew ~n:sz.keys in
-  Cm_workload.Driver.run machine
-    {
-      Cm_workload.Driver.requesters = sz.requesters;
-      first_proc = sz.node_procs;
-      think = 0;
-      warmup = sz.horizon / 5;
-      horizon = sz.horizon;
-    }
-    (request table zipf)
+  let metrics =
+    Cm_workload.Driver.run machine
+      {
+        Cm_workload.Driver.requesters = sz.requesters;
+        first_proc = sz.node_procs;
+        think = 0;
+        warmup = sz.horizon / 5;
+        horizon = sz.horizon;
+      }
+      (request table zipf)
+  in
+  (machine, metrics)
+
+let measure ~quick mode skew = snd (measure_with_machine ~quick mode skew)
 
 let jobs ~quick =
   List.concat_map (fun skew -> List.map (fun mode () -> measure ~quick mode skew) modes) skews

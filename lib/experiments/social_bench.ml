@@ -36,7 +36,7 @@ let request graph workload access _i =
   | Walk -> Thread.ignore_m (Social_graph.walk graph ~access ~start:u ~steps:walk_steps)
   | Fof -> Thread.ignore_m (Social_graph.friends_of_friends graph ~access u)
 
-let measure ~quick workload access =
+let measure_with_machine ~quick workload access =
   let sz = size ~quick in
   let machine =
     Machine.create ~seed:42 ~n_procs:(sz.node_procs + sz.requesters) ~costs:Costs.software ()
@@ -49,15 +49,20 @@ let measure ~quick workload access =
       ~node_procs:(Array.init sz.node_procs (fun i -> i))
       ~seed:7 ()
   in
-  Cm_workload.Driver.run machine
-    {
-      Cm_workload.Driver.requesters = sz.requesters;
-      first_proc = sz.node_procs;
-      think = 0;
-      warmup = sz.horizon / 5;
-      horizon = sz.horizon;
-    }
-    (request graph workload access)
+  let metrics =
+    Cm_workload.Driver.run machine
+      {
+        Cm_workload.Driver.requesters = sz.requesters;
+        first_proc = sz.node_procs;
+        think = 0;
+        warmup = sz.horizon / 5;
+        horizon = sz.horizon;
+      }
+      (request graph workload access)
+  in
+  (machine, metrics)
+
+let measure ~quick workload access = snd (measure_with_machine ~quick workload access)
 
 let workloads = [ Walk; Fof ]
 

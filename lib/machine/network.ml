@@ -29,6 +29,12 @@ type t = {
   words_c : Stats.counter;
   messages_c : Stats.counter;
   contended_c : Stats.counter;
+  (* When set, every send is queued into the coordinator's mailboxes for
+     the barrier merge instead of being scheduled on [sim] — same-shard
+     sends included, so event ordering keys do not depend on the
+     partition (see {!Cm_engine.Shard}).  [sim] is then shard 0's and is
+     only used for handler registration. *)
+  mutable shard_ : Shard.t option;
 }
 
 let create ?(contention = false) ?(link_bandwidth = 1) ~sim ~topo ~costs ~stats () =
@@ -57,7 +63,12 @@ let create ?(contention = false) ?(link_bandwidth = 1) ~sim ~topo ~costs ~stats 
     words_c = Stats.counter stats "net.words";
     messages_c = Stats.counter stats "net.messages";
     contended_c = Stats.counter stats "net.contended_cycles";
+    shard_ = None;
   }
+
+let set_shard t sh =
+  if t.contention then invalid_arg "Network.set_shard: contention model is not shardable";
+  t.shard_ <- Some sh
 
 let kind t name =
   match Hashtbl.find_opt t.kinds name with
@@ -98,7 +109,7 @@ let contended_latency t ~src ~dst ~wire_words =
 (* Latency assignment plus all traffic accounting for one message —
    everything a send does except scheduling the delivery, shared by the
    closure ({!send_k}) and pooled-handler ({!post_k}) entry points. *)
-let accounted_latency t ~src ~dst ~words ~kind =
+let accounted_latency t ~now ~src ~dst ~words ~kind =
   if words < 0 then invalid_arg "Network.send: negative size";
   let wire_words = words + t.costs.Costs.header_words in
   let latency =
@@ -116,21 +127,40 @@ let accounted_latency t ~src ~dst ~words ~kind =
   Stats.Counter.add kind.k_words wire_words;
   Stats.Counter.incr kind.k_messages;
   if Trace.enabled Trace.Events then
-    Trace.eventf ~time:(Sim.now t.sim) "net: %s %d->%d %dw (%d hops, %d cyc)" kind.k_name src
-      dst wire_words
+    Trace.eventf ~time:now "net: %s %d->%d %dw (%d hops, %d cyc)" kind.k_name src dst
+      wire_words
       (Topology.hops t.topo ~src ~dst)
       latency;
   latency
 
 let send_k t ~src ~dst ~words ~kind deliver =
-  let latency = accounted_latency t ~src ~dst ~words ~kind in
-  Sim.after t.sim latency deliver;
-  latency
+  match t.shard_ with
+  | None ->
+    let latency = accounted_latency t ~now:(Sim.now t.sim) ~src ~dst ~words ~kind in
+    Sim.after t.sim latency deliver;
+    latency
+  | Some sh ->
+    let sim = Shard.sim_of_proc sh src in
+    let send = Sim.now sim in
+    let latency = accounted_latency t ~now:send ~src ~dst ~words ~kind in
+    let seq = Sim.take_send_seq sim in
+    Shard.push sh ~time:(send + latency) ~send ~seq ~src ~dst ~hid:(-1) ~arg:0 deliver;
+    latency
 
 let post_k t ~src ~dst ~words ~kind ~hid ~arg =
-  let latency = accounted_latency t ~src ~dst ~words ~kind in
-  Sim.post_after t.sim ~delay:latency hid arg;
-  latency
+  match t.shard_ with
+  | None ->
+    let latency = accounted_latency t ~now:(Sim.now t.sim) ~src ~dst ~words ~kind in
+    Sim.post_after t.sim ~delay:latency hid arg;
+    latency
+  | Some sh ->
+    let sim = Shard.sim_of_proc sh src in
+    let send = Sim.now sim in
+    let latency = accounted_latency t ~now:send ~src ~dst ~words ~kind in
+    let seq = Sim.take_send_seq sim in
+    Shard.push sh ~time:(send + latency) ~send ~seq ~src ~dst ~hid:(Sim.hid_index hid) ~arg
+      Shard.no_fn;
+    latency
 
 let send t ~src ~dst ~words ~kind:name deliver = send_k t ~src ~dst ~words ~kind:(kind t name) deliver
 

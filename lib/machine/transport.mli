@@ -32,6 +32,7 @@ type t
     (see [Machine.transport]). *)
 
 val create :
+  sharded:bool ->
   sim:Sim.t ->
   costs:Costs.t ->
   net:Network.t ->
@@ -46,7 +47,10 @@ val create :
     machine's thread engine: arming fault injection forces its threads
     onto the CPS reference paths (a duplicated delivery may fire a
     resumption twice, which shared frame slots cannot represent), and
-    disarming restores them. *)
+    disarming restores them.  [sharded] marks the owning machine as
+    shard-partitioned: fault injection then refuses to arm
+    (its rng draws in global send order and its delay timers live on one
+    sim). *)
 
 (** {1 Message kinds and endpoints} *)
 
@@ -218,7 +222,8 @@ val configure_faults : t -> seed:int -> (string * fault) list -> unit
     named in [specs] (by label; kinds not listed are unaffected).
     Decisions are drawn from a fresh generator seeded with [seed], in
     send order — same seed, same workload ⇒ same faults.  Replaces any
-    previous configuration. *)
+    previous configuration.  Raises [Invalid_argument] on a sharded
+    machine (non-empty [specs] only). *)
 
 val clear_faults : t -> unit
 (** Disarm fault injection (restores the zero-overhead path). *)

@@ -1,0 +1,70 @@
+(* Scratch bisection driver: which (scheme, requesters, think) counting
+   cells diverge between shard counts, and at which statistic. *)
+
+open Cm_machine
+open Cm_experiments
+
+let digest_at ~shards ~scheme ~requesters ~think ~horizon =
+  Machine.set_default_shards shards;
+  let machine, _ =
+    Counting_run.run_with_machine scheme
+      { Counting_run.default with Counting_run.requesters; think; horizon }
+  in
+  Machine.set_default_shards 1;
+  machine
+
+(* "trace K R THINK" : run one cell with network tracing on, for
+   diffing the message streams of two shard counts. *)
+let () =
+  if Array.length Sys.argv = 4 then begin
+    let shards = int_of_string Sys.argv.(1) in
+    let requesters = int_of_string Sys.argv.(2) in
+    let think = int_of_string Sys.argv.(3) in
+    Cm_engine.Trace.set_level Cm_engine.Trace.Events;
+    let m =
+      digest_at ~shards
+        ~scheme:(Scheme.Rpc { hw = false; repl = false })
+        ~requesters ~think ~horizon:150_000
+    in
+    Printf.eprintf "digest %s fired %d\n" (Machine.digest m) (Machine.events_fired m);
+    exit 0
+  end
+
+let () =
+  let schemes =
+    [
+      ("cp", Scheme.Cp { hw = false; repl = false });
+      ("cp+hw", Scheme.Cp { hw = true; repl = false });
+      ("rpc", Scheme.Rpc { hw = false; repl = false });
+      ("rpc+hw", Scheme.Rpc { hw = true; repl = false });
+    ]
+  in
+  List.iter
+    (fun (name, scheme) ->
+      List.iter
+        (fun requesters ->
+          List.iter
+            (fun think ->
+              let m1 = digest_at ~shards:1 ~scheme ~requesters ~think ~horizon:150_000 in
+              let m2 = digest_at ~shards:2 ~scheme ~requesters ~think ~horizon:150_000 in
+              let d1 = Machine.digest m1 and d2 = Machine.digest m2 in
+              if String.equal d1 d2 then
+                Printf.printf "ok      %-7s r=%-3d think=%-6d\n%!" name requesters think
+              else begin
+                Printf.printf "DIVERGE %-7s r=%-3d think=%-6d clock %d/%d fired %d/%d\n%!" name
+                  requesters think (Machine.now m1) (Machine.now m2) (Machine.events_fired m1)
+                  (Machine.events_fired m2);
+                (* Dump differing statistics. *)
+                let s1 = Cm_engine.Stats.counters m1.Machine.stats in
+                let s2 = Cm_engine.Stats.counters m2.Machine.stats in
+                List.iter
+                  (fun (k1, v1) ->
+                    match List.assoc_opt k1 s2 with
+                    | Some v2 when v2 = v1 -> ()
+                    | Some v2 -> Printf.printf "    %s: %d vs %d\n" k1 v1 v2
+                    | None -> Printf.printf "    %s: %d vs MISSING\n" k1 v1)
+                  s1
+              end)
+            [ 0; 10_000 ])
+        [ 8; 32; 64 ])
+    schemes

@@ -1,0 +1,269 @@
+(* Tests for the conservative sharded-PDES coordinator: the lookahead
+   bound, the mailbox/barrier machinery, the causality sanitizer, and
+   the digest-equivalence oracle (a sharded run must be bit-identical
+   to the sequential one at any shard count — DESIGN.md §17). *)
+
+open Cm_engine
+open Cm_machine
+
+(* ------------------------------------------------------------------ *)
+(* Topology.min_positive_latency                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The declared lookahead must be exactly the minimum latency the
+   network can ever assign: probe every (src, dst) pair — loopback
+   included, always-migrate policies do send to themselves — with an
+   empty payload and compare the minimum of the assigned latencies. *)
+let test_lookahead_is_network_minimum () =
+  List.iter
+    (fun (tname, topo) ->
+      List.iter
+        (fun (cname, costs) ->
+          let sim = Sim.create () in
+          let stats = Stats.create () in
+          let net = Network.create ~sim ~topo ~costs ~stats () in
+          let bound = Topology.min_positive_latency topo costs in
+          let minimum = ref max_int in
+          for src = 0 to Topology.size topo - 1 do
+            for dst = 0 to Topology.size topo - 1 do
+              let l = Network.send net ~src ~dst ~words:0 ~kind:"probe" ignore in
+              if l < !minimum then minimum := l
+            done
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s bound positive" tname cname)
+            true (bound > 0);
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s bound = network minimum" tname cname)
+            !minimum bound)
+        [ ("software", Costs.software); ("hardware", Costs.hardware) ])
+    [
+      ("mesh", Topology.mesh 16);
+      ("torus", Topology.torus 16);
+      ("crossbar", Topology.crossbar 10);
+      ("mesh-nonsquare", Topology.mesh 24);
+    ]
+
+let test_lookahead_rejects_non_positive () =
+  (* A cost table whose cheapest message is free admits no conservative
+     window: the bound must refuse, and so must a sharded machine. *)
+  let free = { Costs.software with Costs.net_base = 0; net_per_word = 0; header_words = 0 } in
+  Alcotest.check_raises "zero-latency table refused"
+    (Invalid_argument
+       "Topology.min_positive_latency: mesh of 4 has minimum link latency 0 <= 0 — no \
+        conservative lookahead exists; run with --shards 1")
+    (fun () -> ignore (Topology.min_positive_latency (Topology.mesh 4) free));
+  match Machine.create ~seed:1 ~shards:2 ~n_procs:4 ~costs:free () with
+  | _ -> Alcotest.fail "sharded machine accepted a zero-latency cost table"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox merge and window boundaries                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A bare two-shard coordinator over four processors (2 per shard),
+   with a kick-off event on shard 0 that queues sends by hand. *)
+let make_shard ?(k = 2) ?(lookahead = 10) ~n_procs () =
+  let reg = Sim.registry () in
+  let sims = Array.init k (fun _ -> Sim.create ~registry:reg ()) in
+  let shard_of = Array.init n_procs (fun p -> p * k / n_procs) in
+  (sims, Shard.create ~sims ~lookahead ~shard_of)
+
+let test_merge_fires_in_global_key_order () =
+  let sims, sh = make_shard ~n_procs:4 () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  (* The kick event (seq 0) draws four seqs and pushes the entries
+     shuffled, across both destination shards: same-time entries must
+     be ordered by seq, and the tournament must interleave the two
+     shards' queues into one global (time, seq) order. *)
+  Sim.at sims.(0) 0 (fun () ->
+      let s0 = Sim.take_send_seq sims.(0) in
+      let s1 = Sim.take_send_seq sims.(0) in
+      let s2 = Sim.take_send_seq sims.(0) in
+      let s3 = Sim.take_send_seq sims.(0) in
+      Shard.push sh ~time:12 ~send:0 ~seq:s3 ~src:0 ~dst:0 ~hid:(-1) ~arg:0 (record "d");
+      Shard.push sh ~time:11 ~send:0 ~seq:s1 ~src:0 ~dst:2 ~hid:(-1) ~arg:0 (record "b");
+      Shard.push sh ~time:12 ~send:0 ~seq:s2 ~src:0 ~dst:3 ~hid:(-1) ~arg:0 (record "c");
+      Shard.push sh ~time:11 ~send:0 ~seq:s0 ~src:0 ~dst:1 ~hid:(-1) ~arg:0 (record "a"));
+  Shard.run sh;
+  Alcotest.(check (list string))
+    "merged arrivals fire in (time, seq) order across shards"
+    [ "a"; "b"; "c"; "d" ]
+    (List.rev !order);
+  Alcotest.(check int) "all five events counted" 5 (Shard.fired sh);
+  Alcotest.(check int) "final clock is the last arrival" 12 (Shard.clock sh)
+
+let test_horizon_boundary_arrival_fires () =
+  let sims, sh = make_shard ~n_procs:4 () in
+  let fired = ref [] in
+  Sim.at sims.(0) 0 (fun () ->
+      let s0 = Sim.take_send_seq sims.(0) in
+      let s1 = Sim.take_send_seq sims.(0) in
+      Shard.push sh ~time:50 ~send:0 ~seq:s0 ~src:0 ~dst:2 ~hid:(-1) ~arg:0 (fun () ->
+          fired := 50 :: !fired);
+      Shard.push sh ~time:51 ~send:0 ~seq:s1 ~src:0 ~dst:2 ~hid:(-1) ~arg:0 (fun () ->
+          fired := 51 :: !fired));
+  (* As [Sim.run ~until]: an arrival exactly at the horizon fires even
+     though the window containing it is clamped to [horizon + 1]; the
+     one just past it stays queued and the clock parks at the horizon. *)
+  Shard.run ~until:50 sh;
+  Alcotest.(check (list int)) "boundary arrival fired, later one queued" [ 50 ] (List.rev !fired);
+  Alcotest.(check int) "clock parked at horizon" 50 (Shard.clock sh);
+  Shard.run sh;
+  Alcotest.(check (list int)) "resumed run fires the rest" [ 50; 51 ] (List.rev !fired);
+  Alcotest.(check int) "clock at last event" 51 (Shard.clock sh)
+
+let test_causality_sanitizer_fires () =
+  Check.set_enabled true;
+  Check.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Check.set_enabled false;
+      Check.reset ())
+    (fun () ->
+      let sims, sh = make_shard ~lookahead:10 ~n_procs:4 () in
+      (* An arrival at cycle 3 lands inside the first completed window
+         [0, 10) — only possible if some latency undercuts the declared
+         lookahead, which the sanitizer must catch at the merge. *)
+      Sim.at sims.(0) 0 (fun () ->
+          let s = Sim.take_send_seq sims.(0) in
+          Shard.For_testing.push_raw sh ~time:3 ~send:0 ~seq:s ~src:0 ~dst:2 ~hid:(-1) ~arg:0
+            ignore);
+      match Shard.run sh with
+      | () -> Alcotest.fail "causality violation not caught"
+      | exception Check.Violation msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "diagnostic names the window (%s)" msg)
+          true
+          (String.length msg > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Digest equivalence: sharded vs sequential                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random thread scripts over a machine — compute, yield, sleep, and
+   cross-processor travel (the network path through the mailboxes) —
+   must produce the same digest (final clock, events fired, every
+   statistic) at shard counts 1, 2, 3, and 4.  This is the PR's core
+   invariant: the windowed tournament replays the sequential event
+   order exactly (see Shard). *)
+
+type shard_op = S_compute of int | S_yield | S_sleep of int | S_travel of int
+
+let shard_op_print = function
+  | S_compute n -> Printf.sprintf "compute %d" n
+  | S_yield -> "yield"
+  | S_sleep n -> Printf.sprintf "sleep %d" n
+  | S_travel d -> Printf.sprintf "travel %d" d
+
+let shard_case_print (seed, n_procs, k, script) =
+  Printf.sprintf "seed %d, %d procs, %d shards: %s" seed n_procs k
+    (String.concat "; "
+       (List.map
+          (fun (on, ops) ->
+            Printf.sprintf "on %d: [%s]" on
+              (String.concat ", " (List.map shard_op_print ops)))
+          script))
+
+let shard_case_gen =
+  QCheck.Gen.(
+    let* n_procs = oneofl [ 4; 9; 16 ] in
+    let* k = int_range 2 4 in
+    let* seed = int_range 0 1_000 in
+    let op =
+      oneof
+        [
+          map (fun n -> S_compute n) (int_range 1 50);
+          return S_yield;
+          map (fun n -> S_sleep n) (int_range 1 100);
+          map (fun d -> S_travel d) (int_range 0 (n_procs - 1));
+        ]
+    in
+    let+ script =
+      list_size (int_range 1 5)
+        (pair (int_range 0 (n_procs - 1)) (list_size (int_range 0 8) op))
+    in
+    (seed, n_procs, k, script))
+
+let shard_digest ~shards ~seed ~n_procs script =
+  let m = Machine.create ~seed ~shards ~n_procs ~costs:Costs.software () in
+  let open Thread.Infix in
+  let rec body ops =
+    match ops with
+    | [] -> Thread.return ()
+    | op :: rest ->
+      let* () =
+        match op with
+        | S_compute n -> Thread.compute n
+        | S_yield -> Thread.yield
+        | S_sleep n -> Thread.sleep n
+        | S_travel d ->
+          Thread.travel ~net:m.Machine.net ~dst:(Machine.proc m d) ~words:8 ~kind:"migrate"
+            ~recv_work:20
+      in
+      body rest
+  in
+  List.iter (fun (on, ops) -> Machine.spawn m ~on (body ops)) script;
+  Machine.run m;
+  Machine.digest m
+
+let prop_shard_digest_oracle =
+  QCheck.Test.make ~name:"sharded digests equal sequential at any shard count" ~count:80
+    (QCheck.make ~print:shard_case_print shard_case_gen)
+    (fun (seed, n_procs, k, script) ->
+      shard_digest ~shards:1 ~seed ~n_procs script = shard_digest ~shards:k ~seed ~n_procs script)
+
+(* The whole-experiment complement of the random oracle: the counting
+   network's historically hardest cell — 64 requesters running
+   identical synchronized request loops, the workload that defeated
+   every locally-computable ordering-key scheme (DESIGN.md §17) —
+   through the full driver (warmup snapshot via the agenda included),
+   at shard counts 2 and 4 against sequential. *)
+let test_counting_cell_digest_equal () =
+  let digest_at shards =
+    Machine.set_default_shards shards;
+    Fun.protect
+      ~finally:(fun () -> Machine.set_default_shards 1)
+      (fun () ->
+        let machine, _ =
+          Cm_experiments.Counting_run.run_with_machine
+            (Cm_experiments.Scheme.Rpc { hw = false; repl = false })
+            {
+              Cm_experiments.Counting_run.default with
+              Cm_experiments.Counting_run.requesters = 64;
+              think = 0;
+              horizon = 60_000;
+            }
+        in
+        Machine.digest machine)
+  in
+  let sequential = digest_at 1 in
+  Alcotest.(check string) "2 shards" sequential (digest_at 2);
+  Alcotest.(check string) "4 shards" sequential (digest_at 4)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cm_shard"
+    [
+      ( "lookahead",
+        [
+          Alcotest.test_case "bound equals network minimum" `Quick
+            test_lookahead_is_network_minimum;
+          Alcotest.test_case "non-positive bound refused" `Quick
+            test_lookahead_rejects_non_positive;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "merge fires in global key order" `Quick
+            test_merge_fires_in_global_key_order;
+          Alcotest.test_case "horizon boundary arrival" `Quick
+            test_horizon_boundary_arrival_fires;
+          Alcotest.test_case "causality sanitizer" `Quick test_causality_sanitizer_fires;
+        ] );
+      ( "digest-oracle",
+        Alcotest.test_case "counting cell at 2 and 4 shards" `Quick
+          test_counting_cell_digest_equal
+        :: List.map QCheck_alcotest.to_alcotest [ prop_shard_digest_oracle ] );
+    ]
