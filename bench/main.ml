@@ -49,6 +49,16 @@
                                             counts (default specs fig2 +
                                             dht_zipf + social_graph, JSON
                                             BENCH_pr9.json)
+     dune exec bench/main.exe -- sites [f]  paired A/B of the fused per-object
+                                            method-site tables vs the generic
+                                            scope/call composition (both on
+                                            the frames engine): interleaved
+                                            reps, median-of-8 minor words per
+                                            op over the simulation only, a
+                                            digest cross-check, and a >=10x
+                                            words/op gate on the migrate-mode
+                                            dht_zipf row (default
+                                            BENCH_pr10.json)
      dune exec bench/main.exe -- big [f]    the million-object scale probes:
                                             10^6 registrations into the flat
                                             vs boxed object store, full-size
@@ -96,24 +106,21 @@ let bench_table5 () = ignore (Table5.measure_one_migration ())
 type spec = {
   name : string;
   thunk : unit -> unit;
-  probe : (unit -> Cm_machine.Machine.t) option;
+  probe : (unit -> Cm_machine.Machine.t * Cm_workload.Metrics.t) option;
 }
 
 let counting_spec name scheme ~horizon requesters =
   {
     name;
     thunk = bench_scheme_counting scheme ~horizon requesters;
-    probe =
-      Some
-        (fun () ->
-          fst (Counting_run.run_with_machine scheme (counting_cfg ~horizon requesters)));
+    probe = Some (fun () -> Counting_run.run_with_machine scheme (counting_cfg ~horizon requesters));
   }
 
 let btree_spec name scheme ~horizon think =
   {
     name;
     thunk = bench_scheme_btree scheme ~horizon think;
-    probe = Some (fun () -> fst (Btree_run.run_with_machine scheme (btree_cfg ~horizon think)));
+    probe = Some (fun () -> Btree_run.run_with_machine scheme (btree_cfg ~horizon think));
   }
 
 (* Horizons.  The full bench mode runs the two headline rows (fig2,
@@ -147,10 +154,9 @@ let specs ~full =
       probe =
         Some
           (fun () ->
-            fst
-              (Btree_run.run_with_machine
-                 (Scheme.Cp { hw = false; repl = true })
-                 (fanout10_cfg ~horizon:mid)));
+            Btree_run.run_with_machine
+              (Scheme.Cp { hw = false; repl = true })
+              (fanout10_cfg ~horizon:mid));
     };
     (* The scale experiments: quick-sized in smoke (CI asserts their
        minor-words ceilings), full 10^6-object / 1024-proc sweeps
@@ -163,9 +169,8 @@ let specs ~full =
       probe =
         Some
           (fun () ->
-            fst
-              (Dht_zipf.measure_with_machine ~quick:(not full)
-                 (Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) 1.3));
+            Dht_zipf.measure_with_machine ~quick:(not full)
+              (Cm_apps.Dht.Messaging Cm_core.Prelude.Rpc) 1.3);
     };
     {
       name = "social_graph:walks";
@@ -175,9 +180,8 @@ let specs ~full =
       probe =
         Some
           (fun () ->
-            fst
-              (Social_bench.measure_with_machine ~quick:(not full) Social_bench.Walk
-                 Cm_core.Prelude.Migrate));
+            Social_bench.measure_with_machine ~quick:(not full) Social_bench.Walk
+              Cm_core.Prelude.Migrate);
     };
   ]
 
@@ -211,6 +215,7 @@ type result = {
   ns_per_run : float option;
   sim_cycles : int option;
   events_fired : int option;
+  sim_ops : int option;  (* completed requests inside the probe run's window *)
   minor_words_per_run : float;
   major_words_per_run : float;
   shards : int;  (* shard count the runs executed under — provenance *)
@@ -258,14 +263,15 @@ let measure ~quota ~limit spec =
       | Some [ est ] -> estimate := Some est
       | Some _ | None -> ())
     results;
-  let sim_cycles, events_fired =
+  let sim_cycles, events_fired, sim_ops =
     match spec.probe with
-    | None -> (None, None)
+    | None -> (None, None, None)
     | Some probe ->
-      let machine = probe () in
+      let machine, metrics = probe () in
       shard_counts := Cm_machine.Machine.shard_fired machine;
       ( Some (Cm_machine.Machine.now machine),
-        Some (Cm_machine.Machine.events_fired machine) )
+        Some (Cm_machine.Machine.events_fired machine),
+        Some metrics.Cm_workload.Metrics.ops )
   in
   let minor_words_per_run, major_words_per_run = alloc_of_run spec.thunk in
   (match !estimate with
@@ -284,6 +290,7 @@ let measure ~quota ~limit spec =
     ns_per_run = !estimate;
     sim_cycles;
     events_fired;
+    sim_ops;
     minor_words_per_run;
     major_words_per_run;
     shards = Cm_machine.Machine.default_shards ();
@@ -301,16 +308,26 @@ let result_fields r =
       ]
     | _ -> []
   in
+  let words_per_op =
+    (* Whole-run minor words over completed requests — construction
+       included, so an upper bound on the steady-state figure ([sites]
+       mode isolates the simulation-only number). *)
+    match r.sim_ops with
+    | Some ops when ops > 0 ->
+      [ json_float "minor_words_per_op" (r.minor_words_per_run /. float_of_int ops) ]
+    | Some _ | None -> []
+  in
   [ json_str "name" r.r_name; json_int "shards" r.shards ]
   @ opt (json_float "ns_per_run") r.ns_per_run
   @ opt (json_int "sim_cycles") r.sim_cycles
   @ opt (json_int "events_fired") r.events_fired
+  @ opt (json_int "sim_ops") r.sim_ops
   @ (if r.shard_fired = [||] then [] else [ json_int_array "shard_fired" r.shard_fired ])
   @ [
       json_float "minor_words_per_run" r.minor_words_per_run;
       json_float "major_words_per_run" r.major_words_per_run;
     ]
-  @ derived
+  @ words_per_op @ derived
 
 let run_bechamel ?only ~mode ~quota ~limit ~full ~json () =
   print_endline "\n=== Bechamel micro-benchmarks (wall-clock of the regenerating sims) ===";
@@ -388,9 +405,9 @@ let run_ab ~names ~json () =
           | None -> None
           | Some probe ->
             Cm_machine.Machine.set_default_engine Cm_machine.Machine.Frames;
-            let df = Cm_machine.Machine.digest (probe ()) in
+            let df = Cm_machine.Machine.digest (fst (probe ())) in
             Cm_machine.Machine.set_default_engine Cm_machine.Machine.Cps;
-            let dc = Cm_machine.Machine.digest (probe ()) in
+            let dc = Cm_machine.Machine.digest (fst (probe ())) in
             Some (df = dc)
         in
         Cm_machine.Machine.set_default_engine Cm_machine.Machine.Frames;
@@ -479,9 +496,9 @@ let run_shards ~k ~names ~json () =
           | None -> (None, [||])
           | Some probe ->
             Cm_machine.Machine.set_default_shards 1;
-            let d1 = Cm_machine.Machine.digest (probe ()) in
+            let d1 = Cm_machine.Machine.digest (fst (probe ())) in
             Cm_machine.Machine.set_default_shards k;
-            let mk = probe () in
+            let mk = fst (probe ()) in
             let dk = Cm_machine.Machine.digest mk in
             (Some (d1 = dk), Cm_machine.Machine.shard_fired mk)
         in
@@ -513,6 +530,96 @@ let run_shards ~k ~names ~json () =
       selected
   in
   match json with Some path -> write_json ~mode:"shards" path records | None -> ()
+
+(* --- sites mode: paired fused vs generic method-site comparison ---- *)
+
+(* Paired A/B of the per-object method-site tables (PR 10) against the
+   generic [scope]/[call] composition they fuse, same discipline as
+   {!run_ab}: interleaved repetitions, median-of-8, and a digest
+   cross-check — the fused path must schedule bit-identical events.
+   Both arms run the frames engine; the knob is the application-level
+   [~fused] flag, so the comparison isolates the method-site tables
+   from the PR 7 engine split.  Minor words are sampled around the
+   simulation only (construction and preload excluded) and divided by
+   completed requests: steady-state allocation per operation.  The
+   migrate-mode dht_zipf row is the acceptance gate — fused must sit at
+   least 10x below generic.  (RPC-mode rows keep a per-call floor
+   either way: the server-side body closure crosses the wire.) *)
+let run_sites ~json () =
+  print_endline
+    "\n=== Paired A/B: fused method-site tables vs generic scope/call (interleaved, median of 8) ===";
+  let reps = 8 in
+  let sites_specs =
+    [
+      ( "dht_zipf:hot-keys-mig",
+        (fun ~fused ->
+          Dht_zipf.measure_sim_words ~quick:true ~fused
+            (Cm_apps.Dht.Messaging Cm_core.Prelude.Migrate)
+            1.3),
+        true );
+      ( "social_graph:walks-mig",
+        (fun ~fused ->
+          Social_bench.measure_sim_words ~quick:true ~fused Social_bench.Walk
+            Cm_core.Prelude.Migrate),
+        false );
+    ]
+  in
+  let records =
+    List.map
+      (fun (name, run, gate) ->
+        (* Warm both arms before sampling. *)
+        ignore (run ~fused:true);
+        ignore (run ~fused:false);
+        let f_ns = Array.make reps 0. and f_wpo = Array.make reps 0. in
+        let g_ns = Array.make reps 0. and g_wpo = Array.make reps 0. in
+        let ops = ref 0 in
+        let digests_equal = ref true in
+        let sample ~fused ns wpo r =
+          let t0 = Unix.gettimeofday () in
+          let machine, metrics, words = run ~fused in
+          let t1 = Unix.gettimeofday () in
+          ns.(r) <- (t1 -. t0) *. 1e9;
+          wpo.(r) <- words /. float_of_int (max 1 metrics.Cm_workload.Metrics.ops);
+          ops := metrics.Cm_workload.Metrics.ops;
+          Cm_machine.Machine.digest machine
+        in
+        for r = 0 to reps - 1 do
+          let df = sample ~fused:true f_ns f_wpo r in
+          let dg = sample ~fused:false g_ns g_wpo r in
+          if df <> dg then digests_equal := false
+        done;
+        let f_ns_med = median f_ns and g_ns_med = median g_ns in
+        let f_wpo_med = median f_wpo and g_wpo_med = median g_wpo in
+        let speedup = g_ns_med /. f_ns_med in
+        let ratio = g_wpo_med /. Float.max f_wpo_med 0.01 in
+        Printf.printf
+          "%-28s fused %7.2f minor-w/op %10.0f ns | generic %7.2f minor-w/op %10.0f ns | \
+           %5.2fx, words x%.0f%s\n\
+           %!"
+          name f_wpo_med f_ns_med g_wpo_med g_ns_med speedup ratio
+          (if !digests_equal then "  digests equal" else "  DIGEST MISMATCH");
+        if not !digests_equal then
+          failwith ("sites: fused vs generic digests differ for " ^ name);
+        if gate && f_wpo_med *. 10. > g_wpo_med then
+          failwith
+            (Printf.sprintf
+               "sites: fused minor words/op (%.2f) is not >=10x below generic (%.2f) for %s"
+               f_wpo_med g_wpo_med name);
+        [
+          json_str "name" name;
+          json_int "reps" reps;
+          json_int "ops" !ops;
+          json_float "fused_minor_words_per_op_median" f_wpo_med;
+          json_float "generic_minor_words_per_op_median" g_wpo_med;
+          json_float "generic_over_fused_words_ratio" ratio;
+          json_float "fused_ns_median" f_ns_med;
+          json_float "generic_ns_median" g_ns_med;
+          json_float "speedup" speedup;
+          json_str "digests_equal" (string_of_bool !digests_equal);
+        ])
+      sites_specs
+  in
+  match json with Some path -> write_json ~mode:"sites" path records | None -> ()
 
 (* --- sweep mode: full-sweep wall clock at -j 1 vs -j N ------------ *)
 
@@ -863,7 +970,7 @@ let () =
   let quick = mode = "quick" in
   if
     mode <> "bench" && mode <> "smoke" && mode <> "one" && mode <> "sweep" && mode <> "ab"
-    && mode <> "big" && mode <> "shards"
+    && mode <> "big" && mode <> "shards" && mode <> "sites"
   then begin
     print_endline "Reproduction of every table and figure (see EXPERIMENTS.md for discussion):";
     Registry.run_all ~quick ()
@@ -893,6 +1000,7 @@ let () =
       | Some _ | None -> 2
     in
     run_shards ~k ~names ~json ()
+  | "sites" -> run_sites ~json:(Some (json_arg "BENCH_pr10.json")) ()
   | "smoke" ->
     (* Fast pass for CI: enough to catch gross hot-path regressions and
        prove the measurement/JSON plumbing works. *)

@@ -58,11 +58,21 @@ let default =
         [ "transmit"; "dispatch"; "post"; "notify"; "call"; "migrate"; "signal"; "inject";
           "fault_spec"; "fault_hits" ];
     };
+    (* The steady-state call path runs on the frames engine: the CPS
+       combinators ([bind]/[map]/[guard]/[await]/[stall]) are the checked
+       *reference* engine — they run only under sanitizers/fault
+       injection, where their per-step closures are accepted — so they
+       left the declared hot set when the per-object consumers migrated
+       to frames (PR 10).  What is hot now is the frame machinery
+       itself: the travel steps and the m-lane register accessors the
+       fused method sites write through. *)
     {
       s_unit = "Cm_machine.Thread";
       s_names =
-        [ "return"; "bind"; "map"; "guard"; "await"; "stall"; "travel_k"; "travel";
-          "yield"; "sleep"; "compute" ];
+        [ "return"; "travel_k"; "travel"; "frame_travel"; "yield"; "sleep"; "compute";
+          "setm0"; "setm1"; "setm2"; "setm3"; "setm4";
+          "getm0"; "getm1"; "getm2"; "getm3"; "getm4";
+          "setms"; "getms"; "setmv"; "getmv" ];
     };
     { s_unit = "Cm_machine.Processor";
       s_names = [ "run_head"; "dispatch"; "enqueue"; "release"; "hold"; "charge" ] };
@@ -74,8 +84,41 @@ let default =
     (* The flat DHT buckets' scan/write primitives, likewise: every
        get/put/preload crosses them, and the big-mode A/B probe's >=10x
        allocation floor depends on their staying allocation-free. *)
+    (* [method_get]/[method_put]/[method_sum] are deliberately absent:
+       they are the CPS *reference* bodies (generic path and sanitizer
+       fall-back); the fused frame bodies run through [ms_bucket] and
+       the bkt_* scans below. *)
     { s_unit = "Cm_apps.Dht";
-      s_names = [ "bkt_count"; "bkt_find"; "bkt_find_from"; "bkt_set"; "bkt_append" ] };
+      s_names = [ "bkt_count"; "bkt_find"; "bkt_find_from"; "bkt_set"; "bkt_append";
+                  "ms_bucket" ] };
+    (* The fused per-object call path (PR 10): static-site and
+       method-site steps walk frame registers only — every binding here
+       must stay allocation-free or the >=10x sites A/B floor erodes. *)
+    {
+      s_unit = "Cm_runtime.Runtime";
+      s_names =
+        [ "rt_body_step"; "rt_call_step"; "site_arrived_step"; "site_send_step";
+          "site_step"; "site_call"; "scope_done_step"; "msite_obj"; "msite_arg_a";
+          "msite_arg_b"; "msite_arrived_step"; "msite_send_step"; "msite_call_step";
+          "msite_enter"; "msite_finish"; "msite_call"; "msite_scoped" ];
+    };
+    {
+      s_unit = "Cm_runtime.Objmig";
+      s_names =
+        [ "om_done_step"; "om_reply_step"; "om_resume_step"; "om_send_step";
+          "om_call_step"; "call"; "rs_alloc"; "rs_release"; "hint_key"; "learn" ];
+    };
+    {
+      s_unit = "Cm_runtime.Replicate";
+      s_names =
+        [ "upd_fan_step"; "read_home_step"; "read_copy_step"; "read"; "update";
+          "scr_alloc"; "scr_release"; "scr_scan"; "holds"; "install" ];
+    };
+    (* The per-op samplers both bench arms share: a boxed draw here taxes
+       fused and generic alike and masks the A/B ratio (the PR 10 limb
+       rewrite of Rng exists precisely to keep these clean). *)
+    { s_unit = "Cm_engine.Rng"; s_names = [ "step"; "int"; "bits53"; "float"; "bool" ] };
+    { s_unit = "Cm_engine.Zipf"; s_names = [ "sample" ] };
   ]
 
 let in_hot_set specs (b : Cmt_index.binding) (ui : Cmt_index.unit_info) =
@@ -101,6 +144,28 @@ let static_constructor (cd : Types.constructor_description) =
     let n = Path.name p in
     String.length n >= 14 && String.sub n 0 14 = "CamlinternalFo"
   | _ -> false
+
+(* Runtime (syntactic) arity of an expression: the length of its outer
+   curried [fun] chain — what the compiler turns into one n-ary closure,
+   and therefore what decides whether an application is partial *at run
+   time*.  The type-level arity over-counts whenever a function returns
+   a function on purpose: [Frame.take_k c] or [Array.get handlers hid]
+   fully apply a 1-or-2-ary callee and merely *read out* an existing
+   closure, yet their result types end in arrows. *)
+let rec syn_arity (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ c ]; _ } -> 1 + syn_arity c.c_rhs
+  | Texp_function _ -> 1
+  | _ -> 0
+
+(* Runtime arities for stdlib heads whose instantiated types commonly
+   end in arrows (no .cmt of theirs is in the index to read the
+   definition from): indexing a function array and the [Obj] casts are
+   full applications, not closure builders. *)
+let stdlib_arity = function
+  | "Array.get" | "Array.unsafe_get" -> Some 2
+  | "Obj.magic" | "Obj.repr" | "Obj.obj" -> Some 1
+  | _ -> None
 
 (* Arrow arity of a type, expanding abbreviations through the index's
    type-declaration table ([unit Thread.t] is an arrow twice over). *)
@@ -198,7 +263,28 @@ let run (idx : Cmt_index.t) ?(hot = default) () =
                 let supplied =
                   List.length (List.filter (fun (_, a) -> a <> None) args)
                 in
-                let ar = arity idx head.exp_type in
+                let ar =
+                  match head.exp_desc with
+                  | Texp_ident (p, _, _) -> (
+                    let canon = Cmt_index.canon_path ui p in
+                    match stdlib_arity (Cmt_index.strip_stdlib canon) with
+                    | Some n -> n
+                    | None -> (
+                      (* A same-unit reference resolves to its bare
+                         name; the index keys on the dotted path. *)
+                      let lookup c = Hashtbl.find_opt idx.Cmt_index.by_canon c in
+                      let hit =
+                        match lookup canon with
+                        | Some _ as h -> h
+                        | None -> lookup (ui.Cmt_index.ui_canon ^ "." ^ canon)
+                      in
+                      match hit with
+                      | Some (callee, _) ->
+                        let n = syn_arity callee.Cmt_index.b_vb.vb_expr in
+                        if n > 0 then n else arity idx head.exp_type
+                      | None -> arity idx head.exp_type))
+                  | _ -> arity idx head.exp_type
+                in
                 if ar > supplied then
                   add ~ui ~b ~loc:e.exp_loc ~kind:"partial-apply"
                     (Printf.sprintf

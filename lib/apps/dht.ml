@@ -31,6 +31,14 @@ type repr =
       rt : Runtime.t;
       access : Prelude.access;
       objs : bucket Prelude.obj array;
+      (* The fused method-site table (one [Runtime.msite] per method):
+         the steady-state get/put path over these is allocation-free.
+         [fused = false] keeps the generic [scope]/[call] composition —
+         the A/B reference arm of [bench sites]. *)
+      fused : bool;
+      get_ms : int option Runtime.msite;
+      put_ms : unit Runtime.msite;
+      sum_ms : int Runtime.msite;
     }
   | Adapt of {
       ad : Adaptive.t;
@@ -42,48 +50,6 @@ type repr =
   | Sm of { mem : Shmem.t; bases : Shmem.addr array; locks : Lock.t array; capacity : int }
 
 type t = { env : Sysenv.t; buckets : int; capacity : int; repr : repr }
-
-let create env ?(buckets = 64) ?(bucket_capacity = 64) ~mode ~node_procs () =
-  if buckets <= 0 then invalid_arg "Dht.create: buckets must be positive";
-  if Array.length node_procs = 0 then invalid_arg "Dht.create: no node processors";
-  let home i = node_procs.(i mod Array.length node_procs) in
-  let fresh_bucket () = Array.make (off_pairs + (2 * bucket_capacity)) 0 in
-  let repr =
-    match mode with
-    | Messaging access ->
-      Msg
-        {
-          rt = Sysenv.runtime env;
-          access;
-          objs =
-            Array.init buckets (fun i ->
-                Prelude.make_obj env.Sysenv.prelude ~home:(home i) (fresh_bucket ()));
-        }
-    | Adaptive ->
-      let ad = Adaptive.create (Sysenv.runtime env) ~explore:6 () in
-      Adapt
-        {
-          ad;
-          objs =
-            Array.init buckets (fun i ->
-                Prelude.make_obj env.Sysenv.prelude ~home:(home i) (fresh_bucket ()));
-          get_site = Adaptive.site ad ~name:"dht.get";
-          put_site = Adaptive.site ad ~name:"dht.put";
-          scan_site = Adaptive.site ad ~name:"dht.range_sum";
-        }
-    | Shared_memory ->
-      let mem = Sysenv.mem env in
-      Sm
-        {
-          mem;
-          bases =
-            Array.init buckets (fun i ->
-                Shmem.alloc mem ~home:(home i) ~words:(off_pairs + (2 * bucket_capacity)));
-          locks = Array.init buckets (fun i -> Lock.create mem ~home:(home i));
-          capacity = bucket_capacity;
-        }
-  in
-  { env; buckets; capacity = bucket_capacity; repr }
 
 let n_buckets t = t.buckets
 
@@ -123,11 +89,11 @@ let method_get key (b : bucket) =
   | -1 -> Thread.return None
   | s -> Thread.return (Some b.(off_pairs + (2 * s) + 1))
 
-let method_put t key value (b : bucket) =
+let method_put capacity key value (b : bucket) =
   let* () = Thread.compute (bucket_work (bkt_count b)) in
   match bkt_find b key with
   | -1 ->
-    if bkt_count b >= t.capacity then failwith "Dht.put: bucket full"
+    if bkt_count b >= capacity then failwith "Dht.put: bucket full"
     else begin
       bkt_append b key value;
       Thread.return ()
@@ -144,6 +110,123 @@ let method_sum (b : bucket) =
     acc := !acc + b.(off_pairs + (2 * s) + 1)
   done;
   Thread.return !acc
+
+(* ------------------------------------------------------------------ *)
+(* Fused method-site bodies                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The frame twins of the messaging bodies above: same bucket reads,
+   same [bucket_work] charge at the same point, expressed as static
+   steps over the method-site registers so a steady-state get/put
+   allocates nothing (the [Some value] of a successful get aside).
+   The per-site step closures below are built once per table. *)
+
+let ms_bucket space c : bucket =
+  Obj.obj (Objspace.state space (Objspace.id_of_int (Runtime.msite_obj c)))
+
+let get_frame_body space =
+  let done_ c =
+    let b = ms_bucket space c in
+    match bkt_find b (Runtime.msite_arg_a c) with
+    | -1 -> Runtime.msite_finish c None
+    | s -> Runtime.msite_finish c (Some b.(off_pairs + (2 * s) + 1))
+  in
+  fun c ->
+    let b = ms_bucket space c in
+    Thread.Frame.hold_then c (bucket_work (bkt_count b)) done_
+
+let put_frame_body space capacity =
+  let done_ c =
+    let b = ms_bucket space c in
+    let key = Runtime.msite_arg_a c in
+    (match bkt_find b key with
+    | -1 ->
+      if bkt_count b >= capacity then failwith "Dht.put: bucket full"
+      else bkt_append b key (Runtime.msite_arg_b c)
+    | s -> bkt_set b s (Runtime.msite_arg_b c));
+    Runtime.msite_finish c ()
+  in
+  fun c ->
+    let b = ms_bucket space c in
+    Thread.Frame.hold_then c (bucket_work (bkt_count b)) done_
+
+let sum_frame_body space =
+  let done_ c =
+    let b = ms_bucket space c in
+    let n = bkt_count b in
+    let acc = ref 0 in
+    for s = 0 to n - 1 do
+      acc := !acc + b.(off_pairs + (2 * s) + 1)
+    done;
+    Runtime.msite_finish c !acc
+  in
+  fun c ->
+    let b = ms_bucket space c in
+    Thread.Frame.hold_then c (bucket_work (bkt_count b)) done_
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let create env ?(buckets = 64) ?(bucket_capacity = 64) ?(fused = true) ~mode ~node_procs () =
+  if buckets <= 0 then invalid_arg "Dht.create: buckets must be positive";
+  if Array.length node_procs = 0 then invalid_arg "Dht.create: no node processors";
+  let home i = node_procs.(i mod Array.length node_procs) in
+  let fresh_bucket () = Array.make (off_pairs + (2 * bucket_capacity)) 0 in
+  let repr =
+    match mode with
+    | Messaging access ->
+      let p = env.Sysenv.prelude in
+      let rt = Sysenv.runtime env in
+      let objs =
+        Array.init buckets (fun i -> Prelude.make_obj p ~home:(home i) (fresh_bucket ()))
+      in
+      let space = Prelude.space p in
+      let state obj : bucket = Obj.obj (Objspace.state space (Objspace.id_of_int obj)) in
+      Msg
+        {
+          rt;
+          access;
+          objs;
+          fused;
+          get_ms =
+            Runtime.msite rt ~access ~space ~args_words:8 ~result_words:2
+              ~frame_body:(get_frame_body space)
+              ~cps_body:(fun ~obj ~a ~b:_ -> method_get a (state obj));
+          put_ms =
+            Runtime.msite rt ~access ~space ~args_words:8 ~result_words:2
+              ~frame_body:(put_frame_body space bucket_capacity)
+              ~cps_body:(fun ~obj ~a ~b -> method_put bucket_capacity a b (state obj));
+          sum_ms =
+            Runtime.msite rt ~access ~space ~args_words:8 ~result_words:2
+              ~frame_body:(sum_frame_body space)
+              ~cps_body:(fun ~obj ~a:_ ~b:_ -> method_sum (state obj));
+        }
+    | Adaptive ->
+      let ad = Adaptive.create (Sysenv.runtime env) ~explore:6 () in
+      Adapt
+        {
+          ad;
+          objs =
+            Array.init buckets (fun i ->
+                Prelude.make_obj env.Sysenv.prelude ~home:(home i) (fresh_bucket ()));
+          get_site = Adaptive.site ad ~name:"dht.get";
+          put_site = Adaptive.site ad ~name:"dht.put";
+          scan_site = Adaptive.site ad ~name:"dht.range_sum";
+        }
+    | Shared_memory ->
+      let mem = Sysenv.mem env in
+      Sm
+        {
+          mem;
+          bases =
+            Array.init buckets (fun i ->
+                Shmem.alloc mem ~home:(home i) ~words:(off_pairs + (2 * bucket_capacity)));
+          locks = Array.init buckets (fun i -> Lock.create mem ~home:(home i));
+          capacity = bucket_capacity;
+        }
+  in
+  { env; buckets; capacity = bucket_capacity; repr }
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                         *)
@@ -214,38 +297,48 @@ let sm_sum_bucket mem locks bases i =
       in
       go 0 0)
 
-let get t key =
-  let p = t.env.Sysenv.prelude in
+(* [get]/[put] take their context and continuation as explicit
+   parameters: call sites that supply everything (the rewritten
+   requester loops) compile to one saturated call, so the fused path
+   builds no intermediate monad closure per operation. *)
+let get t key c k =
   match t.repr with
-  | Msg { rt; access; objs } ->
-    msg_call p rt ~access objs (bucket_of_key t key) (method_get key)
+  | Msg { rt; access; objs; fused; get_ms; _ } ->
+    let i = bucket_of_key t key in
+    if fused then Runtime.msite_scoped get_ms ~obj:(objs.(i) :> int) ~a:key ~b:0 c k
+    else msg_call t.env.Sysenv.prelude rt ~access objs i (method_get key) c k
   | Adapt { ad; objs; get_site; _ } ->
-    adapt_call p ad ~site:get_site objs (bucket_of_key t key) (method_get key)
-  | Sm { mem; bases; locks; _ } -> sm_get mem locks bases t key
+    adapt_call t.env.Sysenv.prelude ad ~site:get_site objs (bucket_of_key t key)
+      (method_get key) c k
+  | Sm { mem; bases; locks; _ } -> sm_get mem locks bases t key c k
 
-let put t ~key ~value =
-  let p = t.env.Sysenv.prelude in
+let put t ~key ~value c k =
   match t.repr with
-  | Msg { rt; access; objs } ->
-    msg_call p rt ~access objs (bucket_of_key t key) (method_put t key value)
+  | Msg { rt; access; objs; fused; put_ms; _ } ->
+    let i = bucket_of_key t key in
+    if fused then Runtime.msite_scoped put_ms ~obj:(objs.(i) :> int) ~a:key ~b:value c k
+    else msg_call t.env.Sysenv.prelude rt ~access objs i (method_put t.capacity key value) c k
   | Adapt { ad; objs; put_site; _ } ->
-    adapt_call p ad ~site:put_site objs (bucket_of_key t key) (method_put t key value)
-  | Sm { mem; bases; locks; capacity } -> sm_put mem locks bases capacity t ~key ~value
+    adapt_call t.env.Sysenv.prelude ad ~site:put_site objs (bucket_of_key t key)
+      (method_put t.capacity key value) c k
+  | Sm { mem; bases; locks; capacity } -> sm_put mem locks bases capacity t ~key ~value c k
 
 let range_sum t ~first_bucket ~n_buckets =
   if n_buckets <= 0 then invalid_arg "Dht.range_sum: empty range";
   let bucket_at j = (first_bucket + j) mod t.buckets in
   let p = t.env.Sysenv.prelude in
   match t.repr with
-  | Msg { rt; access; objs } ->
+  | Msg { rt; access; objs; fused; sum_ms; _ } ->
     Runtime.scope rt ~result_words:2
       (let rec go j acc =
          if j >= n_buckets then Thread.return acc
          else
            let i = bucket_at j in
            let* s =
-             Runtime.call rt ~access ~home:(obj_home p objs i) ~args_words:8 ~result_words:2
-               (method_sum (Prelude.obj_state p objs.(i)))
+             if fused then Runtime.msite_call sum_ms ~obj:(objs.(i) :> int) ~a:0 ~b:0
+             else
+               Runtime.call rt ~access ~home:(obj_home p objs i) ~args_words:8 ~result_words:2
+                 (method_sum (Prelude.obj_state p objs.(i)))
            in
            go (j + 1) (acc + s)
        in

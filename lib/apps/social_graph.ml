@@ -18,13 +18,37 @@ type t = {
   offsets : int array;  (* length n+1; user u's friends at [offsets.(u), offsets.(u+1)) *)
   edges : int array;
   objs : int Prelude.obj array;
+  (* The fused visit method-sites (one per mechanism): every walk hop
+     and fan-out visit is a [Runtime.msite] invocation — allocation-free
+     steady state, digests identical to the generic path.  [fused =
+     false] keeps the generic composition for the A/B reference arm. *)
+  fused : bool;
+  visit_rpc : int Runtime.msite;
+  visit_mig : int Runtime.msite;
 }
 
 (* CPU cost of one visit: touch the profile plus a few cycles per
    friend-list entry scanned. *)
 let visit_work deg = 30 + (3 * deg)
 
-let create env ~n ?(avg_degree = 8) ?(skew = 0.8) ~node_procs ~seed () =
+(* Fused visit body: degree read straight from the CSR offsets, one
+   profile-scan hold, finish with the degree — the frame twin of
+   [visit_method], reading its operand (the user id) from the
+   method-site registers. *)
+let visit_frame_body offsets =
+  let done_ c =
+    let u = Runtime.msite_arg_a c in
+    Runtime.msite_finish c (offsets.(u + 1) - offsets.(u))
+  in
+  fun c ->
+    let u = Runtime.msite_arg_a c in
+    Thread.Frame.hold_then c (visit_work (offsets.(u + 1) - offsets.(u))) done_
+
+let visit_cps_body offsets ~obj:_ ~a:u ~b:_ =
+  let* () = Thread.compute (visit_work (offsets.(u + 1) - offsets.(u))) in
+  Thread.return (offsets.(u + 1) - offsets.(u))
+
+let create env ~n ?(avg_degree = 8) ?(skew = 0.8) ?(fused = true) ~node_procs ~seed () =
   if n <= 0 then invalid_arg "Social_graph.create: n must be positive";
   if avg_degree < 1 then invalid_arg "Social_graph.create: avg_degree must be >= 1";
   if Array.length node_procs = 0 then invalid_arg "Social_graph.create: no node processors";
@@ -42,7 +66,23 @@ let create env ~n ?(avg_degree = 8) ?(skew = 0.8) ~node_procs ~seed () =
   let home_of u = node_procs.(abs (u * 2654435761) mod k) in
   let p = env.Sysenv.prelude in
   let objs = Array.init n (fun u -> Prelude.make_obj p ~home:(home_of u) u) in
-  { env; rt = Sysenv.runtime env; n; offsets; edges; objs }
+  let rt = Sysenv.runtime env in
+  let space = Prelude.space p in
+  let mk access =
+    Runtime.msite rt ~access ~space ~args_words:8 ~result_words:2
+      ~frame_body:(visit_frame_body offsets) ~cps_body:(visit_cps_body offsets)
+  in
+  {
+    env;
+    rt;
+    n;
+    offsets;
+    edges;
+    objs;
+    fused;
+    visit_rpc = mk Prelude.Rpc;
+    visit_mig = mk Prelude.Migrate;
+  }
 
 let n_users t = t.n
 
@@ -58,9 +98,16 @@ let visit_method t cur _state =
   let* () = Thread.compute (visit_work (degree t cur)) in
   Thread.return (degree t cur)
 
-let visit t ~access cur =
+let visit_generic t ~access cur =
   Runtime.call t.rt ~access ~home:(home t cur) ~args_words:8 ~result_words:2
     (visit_method t cur (Prelude.obj_state t.env.Sysenv.prelude t.objs.(cur)))
+
+let visit_ms t ~access =
+  match (access : Prelude.access) with Rpc -> t.visit_rpc | Migrate -> t.visit_mig
+
+let visit t ~access cur c k =
+  if t.fused then Runtime.msite_call (visit_ms t ~access) ~obj:(t.objs.(cur) :> int) ~a:cur ~b:0 c k
+  else visit_generic t ~access cur c k
 
 (* A [steps]-hop walk: visit the current user, then follow a uniformly
    chosen friend edge.  The next hop is drawn in the walking thread
@@ -72,20 +119,29 @@ let visit t ~access cur =
    [Rpc] every hop round-trips to the walker. *)
 let walk t ~access ~start ~steps =
   if start < 0 || start >= t.n then invalid_arg "Social_graph.walk: bad start";
-  Runtime.scope t.rt ~result_words:2
-    (let cur = ref start in
-     let visited = ref 0 in
-     let* () =
-       Thread.repeat steps (fun _ ->
-           let u = !cur in
-           let* r = Thread.rng in
-           let next = friend t u (Rng.int r (degree t u)) in
-           let* d = visit t ~access u in
-           visited := !visited + d;
-           cur := next;
-           Thread.return ())
-     in
-     Thread.return !visited)
+  (* Direct-style hop loop: the next edge is drawn (from the walking
+     thread's stream) before each visit is issued, exactly as the
+     monadic original did, so the path — and the digest — is the same;
+     the only per-walk allocations are the scope and the two loop
+     closures, shared by all [steps] hops. *)
+  Runtime.scope t.rt ~result_words:2 (fun c k ->
+      if steps <= 0 then k 0
+      else begin
+        let cur = ref start in
+        let visited = ref 0 in
+        let left = ref steps in
+        let rec hop () =
+          let u = !cur in
+          let r = Thread.Frame.rng c in
+          cur := friend t u (Rng.int r (degree t u));
+          left := !left - 1;
+          visit t ~access u c on_visit
+        and on_visit d =
+          visited := !visited + d;
+          if !left > 0 then hop () else k !visited
+        in
+        hop ()
+      end)
 
 (* Friends-of-friends: visit [u], then visit its first [fanout] friends
    in order, summing their degrees — the two-hop neighbourhood scan
@@ -94,9 +150,14 @@ let walk t ~access ~start ~steps =
    visits: isolated accesses, not a chain — under [Migrate] the
    activation hops out and returns every time, costing the same two
    messages as RPC's round trip. *)
+let scoped_visit t ~access cur c k =
+  if t.fused then
+    Runtime.msite_scoped (visit_ms t ~access) ~obj:(t.objs.(cur) :> int) ~a:cur ~b:0 c k
+  else Runtime.scope t.rt ~result_words:2 (visit_generic t ~access cur) c k
+
 let friends_of_friends t ~access ?(fanout = 8) u =
   if u < 0 || u >= t.n then invalid_arg "Social_graph.friends_of_friends: bad user";
-  let scoped cur = Runtime.scope t.rt ~result_words:2 (visit t ~access cur) in
+  let scoped cur = scoped_visit t ~access cur in
   let* d = scoped u in
   let m = min d fanout in
   let acc = ref 0 in

@@ -18,6 +18,8 @@ let create machine = { rt = Runtime.create machine; objs = Objspace.create machi
 
 let runtime t = t.rt
 
+let space t = t.objs
+
 let machine t = Runtime.machine t.rt
 
 let make_obj t ~home state =

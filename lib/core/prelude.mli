@@ -41,6 +41,11 @@ val create : Machine.t -> t
 val runtime : t -> Runtime.t
 val machine : t -> Machine.t
 
+val space : t -> Obj.t Objspace.t
+(** The instance's flat object store — for building
+    {!Runtime.msite}-fused method tables over this instance's objects
+    (an ['state obj] is a raw index into it). *)
+
 (** {1 Objects} *)
 
 type 'state obj = private int

@@ -25,6 +25,13 @@ val int : t -> int -> int
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
+val bits53 : t -> int
+(** [bits53 t] is the next output's top 53 bits as a non-negative [int]
+    — the integer [float t] scales, exposed so per-op samplers (e.g.
+    {!Zipf.sample}) can defer the float conversion to a context where it
+    stays unboxed.  [float t b = b *. (float_of_int (bits53 t) /. 2^53)]
+    draw for draw. *)
+
 val bool : t -> bool
 (** [bool t] is a fair coin flip. *)
 

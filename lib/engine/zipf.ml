@@ -17,15 +17,18 @@ let create ~s ~n =
 
 let n t = Array.length t.cdf
 
-(* Smallest rank whose cumulative mass covers [u]. *)
-let rank_of t u =
+(* The deviate is drawn as an integer ({!Rng.bits53}) and converted
+   here, so [u] lives and dies unboxed inside this frame; the binary
+   search runs in place (non-escaping refs compile to mutable locals).
+   A sample on the per-op path therefore allocates nothing.  The value
+   of [u] is bit-identical to the [Rng.float rng 1.0] this replaces. *)
+let sample t rng =
+  let u = float_of_int (Rng.bits53 rng) /. 9007199254740992.0 (* 2^53 *) in
   let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
   done;
   !lo
-
-let sample t rng = rank_of t (Rng.float rng 1.0)
 
 let mass t k = if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

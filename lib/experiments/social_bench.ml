@@ -3,7 +3,6 @@
 open Cm_engine
 open Cm_machine
 open Cm_apps
-open Thread.Infix
 
 (* A million-user follower graph on 1024 processors (quick mode shrinks
    both): users are indices in the flat object space, adjacency is CSR.
@@ -29,14 +28,29 @@ let accesses = [ Cm_core.Prelude.Rpc; Cm_core.Prelude.Migrate ]
 
 let access_name = function Cm_core.Prelude.Rpc -> "rpc" | Cm_core.Prelude.Migrate -> "migrate"
 
+(* Direct-style requester: the start user is drawn from the thread's
+   stream, the traversal is a saturated application, and the
+   result-dropping continuation is cached per requester (the driver
+   passes the same [k] every iteration) — steady-state requests
+   allocate nothing in the loop itself. *)
 let request graph workload access _i =
-  let* r = Thread.rng in
-  let u = Rng.int r (Social_graph.n_users graph) in
-  match workload with
-  | Walk -> Thread.ignore_m (Social_graph.walk graph ~access ~start:u ~steps:walk_steps)
-  | Fof -> Thread.ignore_m (Social_graph.friends_of_friends graph ~access u)
+  let drop = ref None in
+  fun c k ->
+    let dropk =
+      match !drop with
+      | Some (k0, f) when k0 == k -> f
+      | _ ->
+        let f (_ : int) = k () in
+        drop := Some (k, f);
+        f
+    in
+    let r = Thread.Frame.rng c in
+    let u = Rng.int r (Social_graph.n_users graph) in
+    match workload with
+    | Walk -> Social_graph.walk graph ~access ~start:u ~steps:walk_steps c dropk
+    | Fof -> Social_graph.friends_of_friends graph ~access u c dropk
 
-let measure_with_machine ~quick workload access =
+let measure_sim_words ~quick ~fused workload access =
   let sz = size ~quick in
   let machine =
     Machine.create ~seed:42 ~n_procs:(sz.node_procs + sz.requesters) ~costs:Costs.software ()
@@ -45,10 +59,13 @@ let measure_with_machine ~quick workload access =
   (* Built directly (not simulated): a million users register in real
      time, one flat-store index each. *)
   let graph =
-    Social_graph.create env ~n:sz.users ~avg_degree
+    Social_graph.create env ~n:sz.users ~avg_degree ~fused
       ~node_procs:(Array.init sz.node_procs (fun i -> i))
       ~seed:7 ()
   in
+  (* Minor words sampled around the simulation alone (graph construction
+     excluded) — the [bench sites] A/B's per-op allocation probe. *)
+  let words0 = Gc.minor_words () in
   let metrics =
     Cm_workload.Driver.run machine
       {
@@ -60,6 +77,10 @@ let measure_with_machine ~quick workload access =
       }
       (request graph workload access)
   in
+  (machine, metrics, Gc.minor_words () -. words0)
+
+let measure_with_machine ~quick ?(fused = true) workload access =
+  let machine, metrics, _ = measure_sim_words ~quick ~fused workload access in
   (machine, metrics)
 
 let measure ~quick workload access = snd (measure_with_machine ~quick workload access)

@@ -87,6 +87,19 @@ type ctx = {
   mutable f_v1 : Obj.t;
   mutable f_v2 : Obj.t;
   mutable f_v3 : Obj.t;
+  (* Method-site registers (the m-lane): per-call operands of a fused
+     per-object call (Runtime.Msite, Objmig, Replicate).  Disjoint from
+     every slot above, and untouched by [Frame.travel] and the transport
+     chains, so a fused call's operands survive its own migration
+     without re-marshalling.  A method-site body owns them from entry to
+     finish and must not start another method-site call meanwhile. *)
+  mutable f_mi0 : int;
+  mutable f_mi1 : int;
+  mutable f_mi2 : int;
+  mutable f_mi3 : int;
+  mutable f_mi4 : int;
+  mutable f_ms : Obj.t;
+  mutable f_mv : Obj.t;
   thread_id : int;
   stream : Rng.t;
   exit_fn : Obj.t -> unit;  (* on_exit, shared by every exit of this thread *)
@@ -291,6 +304,13 @@ let spawn ~tid ?rng ?on_exit ?engine p body =
       f_v1 = obj_unit;
       f_v2 = obj_unit;
       f_v3 = obj_unit;
+      f_mi0 = 0;
+      f_mi1 = 0;
+      f_mi2 = 0;
+      f_mi3 = 0;
+      f_mi4 = 0;
+      f_ms = obj_unit;
+      f_mv = obj_unit;
       run_op = ignore;
       run_kop = ignore;
       op_hid = Sim.nil_handler;
@@ -405,6 +425,27 @@ module Frame = struct
   let geti1 c = c.f_i1
   let geti2 c = c.f_i2
   let geti3 c = c.f_i3
+
+  (* The method-site lane (see the ctx declaration): five int operands,
+     the site record, and one boxed operand. *)
+  let setm0 c i = c.f_mi0 <- i
+  let setm1 c i = c.f_mi1 <- i
+  let setm2 c i = c.f_mi2 <- i
+  let setm3 c i = c.f_mi3 <- i
+  let setm4 c i = c.f_mi4 <- i
+
+  let getm0 c = c.f_mi0
+  let getm1 c = c.f_mi1
+  let getm2 c = c.f_mi2
+  let getm3 c = c.f_mi3
+  let getm4 c = c.f_mi4
+
+  let setms c v = c.f_ms <- Obj.repr v
+  let getms c = Obj.obj c.f_ms
+  let setmv c v = c.f_mv <- Obj.repr v
+  let getmv c = Obj.obj c.f_mv
+
+  let rng c = c.stream
 
   let set_after2 c op = c.f_after2 <- op
 

@@ -225,6 +225,38 @@ module Frame : sig
   val geti2 : ctx -> int
   val geti3 : ctx -> int
 
+  (** {2 The method-site lane}
+
+      Registers for fused per-object calls ({!Cm_runtime.Runtime.Msite}
+      and the direct frame paths in [Objmig]/[Replicate]): five int
+      operands [m0..m4], the site record slot [ms], and one boxed
+      operand slot [mv].  The lane is disjoint from every slot above and
+      survives {!travel} and the transport chains, so a fused call's
+      operands ride through its own migration.  A method-site body owns
+      the lane from entry to finish and must not start another
+      method-site call meanwhile (nest through the generic {!t} monad
+      instead). *)
+
+  val setm0 : ctx -> int -> unit
+  val setm1 : ctx -> int -> unit
+  val setm2 : ctx -> int -> unit
+  val setm3 : ctx -> int -> unit
+  val setm4 : ctx -> int -> unit
+  val getm0 : ctx -> int
+  val getm1 : ctx -> int
+  val getm2 : ctx -> int
+  val getm3 : ctx -> int
+  val getm4 : ctx -> int
+  val setms : ctx -> 'v -> unit
+  val getms : ctx -> 'v
+  val setmv : ctx -> 'v -> unit
+  val getmv : ctx -> 'v
+
+  val rng : ctx -> Rng.t
+  (** The thread's private random stream, read directly (either engine) —
+      the direct-style equivalent of the {!Cm_machine.Thread.rng}
+      monad. *)
+
   val set_after2 : ctx -> (ctx -> unit) -> unit
   (** Park a completion step surviving a whole transport operation
       (e.g. what to run once a migration has landed). *)

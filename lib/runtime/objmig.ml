@@ -97,10 +97,12 @@ let stats t = (machine t).Machine.stats
    beliefs up to date, as in Emerald. *)
 let hint_key t ~pid i = ((i : Objspace.id :> int) * t.n_procs) + pid
 
+(* Exception-based lookup: the hit path — every forwarding check — boxes
+   no [Some]; only first use (a miss) pays the handler. *)
 let hint t ~pid i =
-  match Hashtbl.find_opt t.hints (hint_key t ~pid i) with
-  | Some h -> h
-  | None ->
+  match Hashtbl.find t.hints (hint_key t ~pid i) with
+  | h -> h
+  | exception Not_found ->
     let h = Objspace.home t.space i in
     Hashtbl.replace t.hints (hint_key t ~pid i) h;
     h
@@ -133,7 +135,7 @@ let rec serve t i ~caller ~args_words ~result_words m (resume : int -> unit) : u
       (serve t i ~caller ~args_words ~result_words m resume)
   end
 
-let call t i ~args_words ~result_words m =
+let call_cps t i ~args_words ~result_words m =
   let c = costs t in
   let* () = Thread.compute c.Costs.forwarding_check in
   let* p = Thread.proc in
@@ -155,6 +157,84 @@ let call t i ~args_words ~result_words m =
     let* () = Thread.compute (Costs.recv_pipeline c ~words:result_words ~new_thread:false) in
     Thread.return r
   end
+
+(* --- the frame fast path of [call] ----------------------------------- *)
+
+(* The caller-side steps replay [call_cps]'s events over the frame's
+   method-site lane — forwarding-check hold, send hold, dispatch,
+   release; enqueue, receive hold, resume — with no binds, no [Some]
+   box from the hint, and no await/reply closures (the pooled reply
+   slot rides in [m3]).  The request payload ([serve ... m resume]) is
+   a per-call closure either way: it crosses the wire and runs on a
+   server thread at the object's home.  Lane use: ms = space, mv =
+   method (then result), m0 = object id, m1 = args words, m2 = result
+   words, m3 = reply slot, m4 = believed target. *)
+
+let om_done_step c =
+  let r : Obj.t = Thread.Frame.getmv c in
+  Thread.Frame.call_k c r
+
+let om_reply_step c =
+  let t : Obj.t t = Thread.Frame.getms c in
+  let slot = Thread.Frame.getm3 c in
+  let r = t.rs_r.(slot) in
+  let home = t.rs_home.(slot) in
+  rs_release t slot;
+  learn t
+    ~pid:(Processor.id (Thread.Frame.proc c))
+    (Objspace.id_of_int (Thread.Frame.getm0 c))
+    home;
+  Thread.Frame.setmv c r;
+  Thread.Frame.hold_then c
+    (Costs.recv_pipeline (costs t) ~words:(Thread.Frame.getm2 c) ~new_thread:false)
+    om_done_step
+
+(* The reply landed: park the slot and re-enqueue the caller — the same
+   enqueue [Thread.await]'s resumption performs. *)
+let om_resume_step c (v : Obj.t) =
+  Thread.Frame.setm3 c (Obj.magic v : int);
+  Thread.Frame.enqueue_then c om_reply_step
+
+let om_send_step c =
+  let t : Obj.t t = Thread.Frame.getms c in
+  let i = Objspace.id_of_int (Thread.Frame.getm0 c) in
+  let pid = Processor.id (Thread.Frame.proc c) in
+  let args_words = Thread.Frame.getm1 c in
+  let resume : int -> unit = Thread.Frame.resume c om_resume_step in
+  Transport.dispatch t.tp t.call_k ~src:pid ~dst:(Thread.Frame.getm4 c) ~words:args_words
+    (serve t i ~caller:pid ~args_words ~result_words:(Thread.Frame.getm2 c)
+       (Obj.magic (Thread.Frame.getmv c) : Obj.t -> Obj.t Thread.t)
+       resume);
+  Thread.Frame.release c
+
+let om_call_step c =
+  let t : Obj.t t = Thread.Frame.getms c in
+  let i = Objspace.id_of_int (Thread.Frame.getm0 c) in
+  let pid = Processor.id (Thread.Frame.proc c) in
+  let believed = hint t ~pid i in
+  if believed = pid && Objspace.home t.space i = pid then
+    (Obj.magic (Thread.Frame.getmv c) : Obj.t -> Obj.t Thread.t)
+      (Objspace.state t.space i)
+      c (Thread.Frame.take_k c)
+  else begin
+    let target = if believed = pid then Objspace.home t.space i else believed in
+    Thread.Frame.setm4 c target;
+    Thread.Frame.hold_then c
+      (Costs.send_pipeline (costs t) ~words:(Thread.Frame.getm1 c))
+      om_send_step
+  end
+
+let call t i ~args_words ~result_words m c k =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c k;
+    Thread.Frame.setms c t;
+    Thread.Frame.setmv c m;
+    Thread.Frame.setm0 c (i : Objspace.id :> int);
+    Thread.Frame.setm1 c args_words;
+    Thread.Frame.setm2 c result_words;
+    Thread.Frame.hold_then c (costs t).Costs.forwarding_check om_call_step
+  end
+  else call_cps t i ~args_words ~result_words m c k
 
 let migrate_object t i ~to_ =
   let c = costs t in

@@ -22,6 +22,18 @@ type 'a t = {
   mutable master : 'a;
   mutable version : int;
   upd_k : 'a Transport.kind;
+  (* The fused update fan-out (built once in [create]): a static body
+     the frame engine carries to the home, reading the new value and
+     payload size from the frame's method-site lane. *)
+  mutable upd_body : unit Thread.t;
+  (* Pooled holder-set snapshots: the fan-out walks a copy of [present]
+     taken when the update body starts (a fetch landing mid-fan-out must
+     not join it, exactly as the former holder-list snapshot behaved).
+     Pooled because concurrent updates to the same object each need
+     their own snapshot. *)
+  mutable scr : Bytes.t array;
+  mutable scr_free : int array;
+  mutable scr_free_top : int;
 }
 
 let holds t pid = Char.code (Bytes.unsafe_get t.present (pid lsr 3)) land (1 lsl (pid land 7)) <> 0
@@ -35,43 +47,128 @@ let install t pid v =
   end;
   t.copies.(pid) <- Obj.repr v
 
+let stats t = (Runtime.machine t.rt).Machine.stats
+
+let costs t = (Runtime.machine t.rt).Machine.costs
+
+(* --- the fused update fan-out --------------------------------------- *)
+
+let scr_alloc t =
+  if t.scr_free_top = 0 then begin
+    let cap = Array.length t.scr in
+    let ncap = 2 * cap in
+    let len = Bytes.length t.present in
+    let ns = Array.make ncap Bytes.empty in
+    Array.blit t.scr 0 ns 0 cap;
+    for j = cap to ncap - 1 do
+      ns.(j) <- Bytes.create len
+    done;
+    let nf = Array.make ncap 0 in
+    t.scr <- ns;
+    t.scr_free <- nf;
+    for j = 0 to cap - 1 do
+      t.scr_free.(j) <- cap + j
+    done;
+    t.scr_free_top <- cap
+  end;
+  t.scr_free_top <- t.scr_free_top - 1;
+  t.scr_free.(t.scr_free_top)
+
+let scr_release t slot =
+  t.scr_free.(t.scr_free_top) <- slot;
+  t.scr_free_top <- t.scr_free_top + 1
+
+(* Highest snapshot holder at or below [pid], or -1: the fan-out posts
+   in descending processor order, exactly as the former holder list
+   (ascending scan with prepend) produced. *)
+let rec scr_scan scr pid =
+  if pid < 0 then -1
+  else if Char.code (Bytes.unsafe_get scr (pid lsr 3)) land (1 lsl (pid land 7)) <> 0 then pid
+  else scr_scan scr (pid - 1)
+
+(* One fan-out step: the preceding hold paid the send pipeline for the
+   holder in [m1]; dispatch to it and line up the next holder.  Lane
+   use: ms = table, mv = new value, m0 = payload words, m1 = holder
+   cursor, m2 = per-holder send cost, m3 = snapshot slot. *)
+let rec upd_fan_step c =
+  let t : Obj.t t = Thread.Frame.getms c in
+  let p = Thread.Frame.getm1 c in
+  Transport.dispatch (Runtime.transport t.rt) t.upd_k
+    ~src:(Processor.id (Thread.Frame.proc c))
+    ~dst:p ~words:(Thread.Frame.getm0 c) (Thread.Frame.getmv c);
+  let slot = Thread.Frame.getm3 c in
+  let q = scr_scan t.scr.(slot) (p - 1) in
+  if q < 0 then begin
+    scr_release t slot;
+    Thread.Frame.call_k c ()
+  end
+  else begin
+    Thread.Frame.setm1 c q;
+    Thread.Frame.hold_then c (Thread.Frame.getm2 c) upd_fan_step
+  end
+
+(* The update fan-out body, run at the home (the frame engine carries it
+   there): pay one send pipeline per snapshot holder — the same events,
+   in the same (descending) order, as the monadic [iter_list]-over-
+   [post] body.  The snapshot, master install and counter bump happened
+   at the requester when the update was issued, exactly where the
+   monadic body expression evaluated them. *)
+let upd_body_run (t : Obj.t t) c k =
+  let slot = Thread.Frame.getm3 c in
+  let first = scr_scan t.scr.(slot) (t.n_procs - 1) in
+  if first < 0 then begin
+    scr_release t slot;
+    k ()
+  end
+  else begin
+    Thread.Frame.save_k c k;
+    Thread.Frame.setm1 c first;
+    Thread.Frame.hold_then c (Thread.Frame.getm2 c) upd_fan_step
+  end
+
 let create rt ~home ~words_of v =
   let machine = Runtime.machine rt in
   if home < 0 || home >= Machine.n_procs machine then invalid_arg "Replicate.create: bad home";
   let n_procs = Machine.n_procs machine in
   let tp = Runtime.transport rt in
   let upd_k = Transport.kind tp "repl_update" in
+  let scr_len = (n_procs + 7) / 8 in
   let t =
     {
       rt;
       home;
       words_of;
       n_procs;
-      present = Bytes.make ((n_procs + 7) / 8) '\000';
+      present = Bytes.make scr_len '\000';
       copies = Array.make n_procs (Obj.repr 0);
       n_replicas = 0;
       master = v;
       version = 0;
       upd_k;
+      upd_body = Thread.return ();
+      scr = Array.init 2 (fun _ -> Bytes.create scr_len);
+      scr_free = [| 0; 1 |];
+      scr_free_top = 2;
     }
   in
+  t.upd_body <- (fun c k -> upd_body_run (Obj.magic t : Obj.t t) c k);
   (* The update fan-out delivers the new value to each holder: the
      handler thread (which already paid the receive pipeline) installs
-     it in the local replica slot. *)
-  Transport.Endpoint.register_all tp ~kind:upd_k (fun v ->
-      let* p = Thread.proc in
-      install t (Processor.id p) v;
-      Thread.return ());
+     it in the local replica slot.  Saturated — a steady-state delivery
+     allocates nothing in the handler. *)
+  Transport.Endpoint.register_all tp ~kind:upd_k (fun v c k ->
+      install t (Processor.id (Thread.Frame.proc c)) v;
+      k ());
   t
 
 let home t = t.home
 
-let stats t = (Runtime.machine t.rt).Machine.stats
-
 (* A replica read costs a few cycles of pointer chasing. *)
 let local_read_cost = 4
 
-let read t =
+(* The CPS reference read, kept verbatim; the frame fast paths below
+   replay its events (and its [repl.*] counters) exactly. *)
+let read_cps t =
   let* p = Thread.proc in
   let pid = Processor.id p in
   if pid = t.home then
@@ -95,7 +192,37 @@ let read t =
     Thread.return v
   end
 
-let update t ~access v =
+let read_home_step c =
+  let t : Obj.t t = Thread.Frame.getms c in
+  Thread.Frame.call_k c t.master
+
+let read_copy_step c =
+  let t : Obj.t t = Thread.Frame.getms c in
+  Thread.Frame.call_k c t.copies.(Processor.id (Thread.Frame.proc c))
+
+(* Replica-hit reads — the hot path of a read-mostly workload — run as
+   one held step over the frame, no binds, no boxes; a miss falls back
+   to the CPS fetch (which pays an RPC and installs the replica — cold
+   by construction). *)
+let read t c k =
+  if Thread.Frame.on c then begin
+    let pid = Processor.id (Thread.Frame.proc c) in
+    if pid = t.home then begin
+      Thread.Frame.save_k c k;
+      Thread.Frame.setms c t;
+      Thread.Frame.hold_then c local_read_cost read_home_step
+    end
+    else if holds t pid then begin
+      Stats.incr (stats t) "repl.local_reads";
+      Thread.Frame.save_k c k;
+      Thread.Frame.setms c t;
+      Thread.Frame.hold_then c local_read_cost read_copy_step
+    end
+    else read_cps t c k
+  end
+  else read_cps t c k
+
+let update_cps t ~access v =
   let words = t.words_of v in
   Runtime.call t.rt ~access ~home:t.home ~args_words:words ~result_words:1
     ((* Holders are collected by an ascending scan with prepend, so the
@@ -115,6 +242,33 @@ let update t ~access v =
      Thread.iter_list
        (fun holder -> Transport.post (Runtime.transport t.rt) t.upd_k ~dst:holder ~words v)
        !holders)
+
+(* Fused migrating update: stage the value and costs in the method-site
+   lane (which survives the migration) and let the annotated call carry
+   the static [upd_body] to the home.  An RPC update ships its body as a
+   server-thread payload — a per-call closure either way — so only the
+   migrate arm is fused. *)
+let update t ~access v c k =
+  if Thread.Frame.on c && (match access with Runtime.Migrate -> true | Runtime.Rpc -> false)
+  then begin
+    let words = t.words_of v in
+    (* Issue-time effects, exactly where the monadic body expression
+       evaluated them (at the requester, before the forwarding check):
+       snapshot the holder set, install the new master, bump the
+       counter.  Only the fan-out itself runs at the home. *)
+    let slot = scr_alloc t in
+    Bytes.blit t.present 0 t.scr.(slot) 0 (Bytes.length t.present);
+    t.master <- v;
+    t.version <- t.version + 1;
+    Stats.incr (stats t) "repl.updates";
+    Thread.Frame.setms c t;
+    Thread.Frame.setmv c v;
+    Thread.Frame.setm0 c words;
+    Thread.Frame.setm2 c (Costs.send_pipeline (costs t) ~words);
+    Thread.Frame.setm3 c slot;
+    Runtime.call t.rt ~access ~home:t.home ~args_words:words ~result_words:1 t.upd_body c k
+  end
+  else update_cps t ~access v c k
 
 let version t = t.version
 

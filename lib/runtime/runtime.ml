@@ -119,19 +119,20 @@ let rt_call_step c =
       ~words:(Thread.Frame.geti2 c) ~fresh:true ~after:rt_body_step c
   end
 
-let call t ~access ~home ~args_words ~result_words body =
-  let cst = costs t in
-  fun c k ->
-    if Thread.Frame.on c then begin
-      Thread.Frame.save_k c k;
-      Thread.Frame.setv0 c t;
-      Thread.Frame.setv3 c body;
-      Thread.Frame.seti1 c ((home lsl 1) lor (match access with Migrate -> 1 | Rpc -> 0));
-      Thread.Frame.seti2 c args_words;
-      Thread.Frame.seti3 c result_words;
-      Thread.Frame.hold_then c cst.Costs.forwarding_check rt_call_step
-    end
-    else call_cps t ~access ~home ~args_words ~result_words body c k
+(* Saturated ([c k] explicit) so an 8-argument application compiles to a
+   direct call with no intermediate closure; partial applications still
+   yield an ordinary ['r Thread.t]. *)
+let call t ~access ~home ~args_words ~result_words body c k =
+  if Thread.Frame.on c then begin
+    Thread.Frame.save_k c k;
+    Thread.Frame.setv0 c t;
+    Thread.Frame.setv3 c body;
+    Thread.Frame.seti1 c ((home lsl 1) lor (match access with Migrate -> 1 | Rpc -> 0));
+    Thread.Frame.seti2 c args_words;
+    Thread.Frame.seti3 c result_words;
+    Thread.Frame.hold_then c (costs t).Costs.forwarding_check rt_call_step
+  end
+  else call_cps t ~access ~home ~args_words ~result_words body c k
 
 (* --- fused call sites ------------------------------------------------ *)
 
@@ -255,6 +256,155 @@ let scope t ?(at_base = false) ~result_words body =
         end)
   end
   else scope_cps t ~at_base ~result_words body c k
+
+(* --- per-object method sites ----------------------------------------
+
+   [site] fuses one static access; a {e method site} fuses a whole
+   (object-class, method) pair over the flat object store: the body, the
+   mechanism, the interned network kind, and every cost are resolved
+   once at construction, while the home is one Bigarray load from the
+   store's home table per call — so objects keep a mutable home
+   ([Objspace.move]) and the very next call lands at the new one.  A
+   steady-state invocation writes the frame's method-site registers
+   (m0=object id, m1/m2=int operands, m3=resolved home, m4=scope
+   origin), pays the forwarding check, and walks static steps: the whole
+   call/migrate/return cycle allocates nothing.
+
+   The body contract: [frame_body] runs at the object's home with the
+   CPU held, reads its operands through [msite_obj]/[msite_arg_a]/
+   [msite_arg_b] (state via the object store), may suspend only through
+   [Thread.Frame.hold_then]-style steps, and must end with exactly one
+   [msite_finish].  It owns the m-lane for the duration and must not
+   start another method-site call.  [cps_body] is the same method as a
+   generic monad — the reference engine runs it (sanitizers, faults,
+   the CPS A/B arm), and the RPC arm ships it as the server stub — so
+   both bodies must charge identical costs in identical order; the
+   qcheck oracle in test/ holds them to that.
+
+   Event, counter, and cost sequences replay [scope]([call]) exactly, so
+   run digests cannot tell a fused call from a generic one. *)
+type 'r msite = {
+  m_rt : t;
+  m_migrate : bool;
+  m_space : Obj.t Objspace.t;
+  m_args_words : int;
+  m_result_words : int;
+  m_net : Network.t;
+  m_netk : Network.kind;  (* the "migrate" network label *)
+  m_fc : int;  (* forwarding-check cycles *)
+  m_send : int;  (* send-pipeline cycles for [m_args_words] *)
+  m_recv : int;  (* fresh-thread receive-pipeline cycles, ditto *)
+  m_frame_body : Thread.Frame.ctx -> unit;
+  m_cps_body : obj:int -> a:int -> b:int -> 'r Thread.t;
+}
+
+let msite rt ~access ~space ~args_words ~result_words ~frame_body ~cps_body =
+  let cst = costs rt in
+  {
+    m_rt = rt;
+    m_migrate = (match access with Migrate -> true | Rpc -> false);
+    m_space = space;
+    m_args_words = args_words;
+    m_result_words = result_words;
+    m_net = rt.machine.Machine.net;
+    m_netk = Transport.net_kind rt.migrate_k;
+    m_fc = cst.Costs.forwarding_check;
+    m_send = Costs.send_pipeline cst ~words:args_words;
+    m_recv = Costs.recv_pipeline cst ~words:args_words ~new_thread:true;
+    m_frame_body = frame_body;
+    m_cps_body = cps_body;
+  }
+
+let msite_obj c = Thread.Frame.getm0 c
+
+let msite_arg_a c = Thread.Frame.getm1 c
+
+let msite_arg_b c = Thread.Frame.getm2 c
+
+(* The migration has landed (same event as [Transport.mig_done_step]):
+   account the delivery, then run the fused body where the object is. *)
+let msite_arrived_step c =
+  let ms : Obj.t msite = Thread.Frame.getms c in
+  Transport.account_delivered ms.m_rt.migrate_k ~pid:(Thread.Frame.getm3 c);
+  ms.m_frame_body c
+
+let msite_send_step c =
+  let ms : Obj.t msite = Thread.Frame.getms c in
+  Transport.account_posted ms.m_rt.migrate_k;
+  Thread.Frame.travel ~net:ms.m_net
+    ~dst:(Machine.proc ms.m_rt.machine (Thread.Frame.getm3 c))
+    ~words:ms.m_args_words ~kind:ms.m_netk ~recv_work:ms.m_recv ~after:msite_arrived_step c
+
+let msite_call_step c =
+  let ms : Obj.t msite = Thread.Frame.getms c in
+  let home = Thread.Frame.getm3 c in
+  if Processor.id (Thread.Frame.proc c) = home then begin
+    Stats.Counter.incr ms.m_rt.local_calls_c;
+    ms.m_frame_body c
+  end
+  else if ms.m_migrate then begin
+    Stats.Counter.incr ms.m_rt.migrations_c;
+    Thread.Frame.hold_then c ms.m_send msite_send_step
+  end
+  else begin
+    let rt = ms.m_rt in
+    Stats.Counter.incr rt.rpc_calls_c;
+    Transport.call rt.tp ~req:rt.rpc_k ~reply:rt.rpc_reply_k ~dst:home
+      ~args_words:ms.m_args_words ~result_words:ms.m_result_words
+      (* lint: allow hot-alloc an Rpc access ships the body to the home as a CPS monad by design — one closure per *remote* call *)
+      (ms.m_cps_body ~obj:(Thread.Frame.getm0 c) ~a:(Thread.Frame.getm1 c)
+         ~b:(Thread.Frame.getm2 c))
+      c (Thread.Frame.take_k c)
+  end
+
+(* The home resolves at entry — before the forwarding-check hold, like
+   the generic path resolves it before [call]'s — so a concurrent
+   [Objspace.move] firing during the hold is seen by the same calls
+   under either path. *)
+let msite_enter ms ~scoped ~obj ~a ~b c k =
+  Thread.Frame.save_k c k;
+  Thread.Frame.setms c ms;
+  Thread.Frame.setm0 c obj;
+  Thread.Frame.setm1 c a;
+  Thread.Frame.setm2 c b;
+  Thread.Frame.setm3 c (Objspace.home ms.m_space (Objspace.id_of_int obj));
+  Thread.Frame.setm4 c (if scoped then Processor.id (Thread.Frame.proc c) else -1);
+  Thread.Frame.hold_then c ms.m_fc msite_call_step
+
+let msite_finish c r =
+  let origin = Thread.Frame.getm4 c in
+  if origin < 0 || Processor.id (Thread.Frame.proc c) = origin then Thread.Frame.call_k c r
+  else begin
+    let ms : Obj.t msite = Thread.Frame.getms c in
+    let rt = ms.m_rt in
+    Stats.Counter.incr rt.scope_returns_c;
+    Thread.Frame.setv3 c r;
+    Transport.migrate_f rt.tp rt.migrate_return_k
+      ~dst:(Machine.proc rt.machine origin)
+      ~words:ms.m_result_words ~fresh:false ~after:scope_done_step c
+  end
+
+let msite_call ms ~obj ~a ~b c k =
+  if Thread.Frame.on c then msite_enter ms ~scoped:false ~obj ~a ~b c k
+  else
+    call_cps ms.m_rt
+      ~access:(if ms.m_migrate then Migrate else Rpc)
+      ~home:(Objspace.home ms.m_space (Objspace.id_of_int obj))
+      ~args_words:ms.m_args_words ~result_words:ms.m_result_words
+      (* lint: allow hot-alloc CPS fall-back arm — runs only under sanitizers/fault injection *)
+      (ms.m_cps_body ~obj ~a ~b) c k
+
+let msite_scoped ms ~obj ~a ~b c k =
+  if Thread.Frame.on c then msite_enter ms ~scoped:true ~obj ~a ~b c k
+  else
+    scope_cps ms.m_rt ~at_base:false ~result_words:ms.m_result_words
+      (call_cps ms.m_rt
+         ~access:(if ms.m_migrate then Migrate else Rpc)
+         ~home:(Objspace.home ms.m_space (Objspace.id_of_int obj))
+         ~args_words:ms.m_args_words ~result_words:ms.m_result_words
+         (* lint: allow hot-alloc CPS fall-back arm — runs only under sanitizers/fault injection *)
+         (ms.m_cps_body ~obj ~a ~b))
+      c k
 
 (* Partial-activation support (paper S6): an activation that migrated
    carrying only part of its live state pulls the rest from its origin

@@ -94,6 +94,71 @@ val scope : t -> ?at_base:bool -> result_words:int -> 'r Thread.t -> 'r Thread.t
 (** [scope t ~result_words body] runs [body] as one procedure activation;
     see the module description.  [at_base] defaults to [false]. *)
 
+(** {1 Per-object method sites}
+
+    {!site} fuses one static access; a {e method site} fuses a whole
+    (object-class, method) pair over the flat object store
+    ({!Objspace}): body, mechanism, interned network kind, and every
+    cost are resolved once at construction, while the home is one load
+    from the store's home table per call — objects keep a mutable home
+    ([Objspace.move]) and the next call lands at the new one.  A
+    steady-state invocation writes the frame's method-site registers
+    and walks static steps; the whole call/migrate/return cycle
+    allocates nothing.  Events, counters, and costs replay
+    {!scope}({!call}) exactly, so run digests cannot tell a fused call
+    from a generic one; under sanitizers or armed faults the invocation
+    falls back to the CPS reference path built from [cps_body]. *)
+
+type 'r msite
+
+val msite :
+  t ->
+  access:access ->
+  space:Obj.t Objspace.t ->
+  args_words:int ->
+  result_words:int ->
+  frame_body:(Thread.Frame.ctx -> unit) ->
+  cps_body:(obj:int -> a:int -> b:int -> 'r Thread.t) ->
+  'r msite
+(** [msite t ~access ~space ~args_words ~result_words ~frame_body
+    ~cps_body] binds one method of one object class.  [frame_body] runs
+    at the object's home with the CPU held: it reads its operands with
+    {!msite_obj}/{!msite_arg_a}/{!msite_arg_b} (object state through
+    [space]), may suspend only via [Thread.Frame.hold_then]-style
+    steps, must end with exactly one {!msite_finish}, and owns the
+    frame's method-site lane for the duration (no nested method-site
+    calls).  [cps_body] is the same method as a generic monad — run by
+    the reference engine and shipped as the RPC server stub — and must
+    charge identical costs in identical order. *)
+
+val msite_call : 'r msite -> obj:int -> a:int -> b:int -> 'r Thread.t
+(** [msite_call ms ~obj ~a ~b] invokes the method on [obj] (a raw
+    {!Objspace.id}) with int operands [a]/[b] — equivalent to {!call}
+    of the bound body at the object's current home.  Under [Migrate]
+    the thread stays at the home afterwards (wrap in a {!scope}, or use
+    {!msite_scoped}). *)
+
+val msite_scoped : 'r msite -> obj:int -> a:int -> b:int -> 'r Thread.t
+(** [msite_scoped ms ~obj ~a ~b] is {!scope}({!msite_call} ...) fused:
+    one isolated access that returns to the caller's processor —
+    byte-identical events to the generic composition, with the scope's
+    per-call return closure eliminated. *)
+
+val msite_obj : Thread.Frame.ctx -> int
+(** Inside [frame_body]: the invoked object's id. *)
+
+val msite_arg_a : Thread.Frame.ctx -> int
+(** Inside [frame_body]: the first int operand. *)
+
+val msite_arg_b : Thread.Frame.ctx -> int
+(** Inside [frame_body]: the second int operand. *)
+
+val msite_finish : Thread.Frame.ctx -> 'r -> unit
+(** Inside [frame_body]: complete the invocation with a result — runs
+    the scope-return logic ({!msite_scoped}) or the caller's
+    continuation ({!msite_call}).  Must be called exactly once, with
+    the ['r] the site was built at. *)
+
 val fetch_residual : t -> origin:int -> words:int -> unit Thread.t
 (** [fetch_residual t ~origin ~words] supports {e partial activation
     migration} (the paper's §6): a call annotated [Migrate] may carry

@@ -32,7 +32,9 @@ let hot_spec =
   [
     {
       Hot_alloc.s_unit = "Lint_fixtures.Fixture_hot";
-      s_names = [ "spin_closure"; "spin_pair"; "spin_floats"; "spin_partial" ];
+      s_names =
+        [ "spin_closure"; "spin_pair"; "spin_floats"; "spin_partial"; "spin_take";
+          "spin_drive"; "spin_fn_read" ];
     };
   ]
 
@@ -193,7 +195,16 @@ let test_hot_alloc () =
   check_found "partial application in hot path" ~file:"fixture_hot.ml" ~rule:"hot-alloc"
     ~detail:"partial-apply" ~context:"spin_partial" fs;
   check_absent "identical allocation outside the hot set" ~rule:"hot-alloc" ~context:"cold_pair"
-    fs
+    fs;
+  (* runtime-arity, not type-arity: reading a stored closure out (and
+     fully applying what a 1-ary callee returns) is not a partial
+     application even though the callee's result type ends in arrows *)
+  check_absent "closure read from a record slot" ~rule:"hot-alloc" ~detail:"partial-apply"
+    ~context:"spin_take" fs;
+  check_absent "full application through a 1-ary reader" ~rule:"hot-alloc"
+    ~detail:"partial-apply" ~context:"spin_drive" fs;
+  check_absent "closure indexed out of an array" ~rule:"hot-alloc" ~detail:"partial-apply"
+    ~context:"spin_fn_read" fs
 
 (* ------------------------------------------------------------------ *)
 (* Output order, JSON, baseline                                       *)

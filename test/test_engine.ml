@@ -155,6 +155,50 @@ let prop_rng_int_uniformish =
       done;
       Array.for_all (fun b -> b) seen)
 
+(* Boxed-Int64 SplitMix64, verbatim from the pre-limb Rng: the
+   allocation-free limb implementation must reproduce this stream bit
+   for bit — every digest in the repo depends on it. *)
+module Rng_ref = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int64 t =
+    t.state <- Int64.add t.state golden_gamma;
+    mix t.state
+
+  let int t bound =
+    let raw = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    raw mod bound
+
+  let float t bound =
+    let raw = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+    bound *. (raw /. 9007199254740992.0)
+end
+
+let test_rng_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let limb = Rng.create ~seed and boxed = Rng_ref.create ~seed in
+      for _ = 1 to 1_000 do
+        Alcotest.(check int64) "raw output" (Rng_ref.int64 boxed) (Rng.int64 limb)
+      done)
+    [ 0; 1; 42; 12345; -7; max_int; min_int ];
+  let limb = Rng.create ~seed:99 and boxed = Rng_ref.create ~seed:99 in
+  for i = 1 to 1_000 do
+    (* Interleave derived draws so slicing (top 62, top 53) is held to
+       the reference too, not just the raw word. *)
+    Alcotest.(check int) "int draw" (Rng_ref.int boxed (i + 1)) (Rng.int limb (i + 1));
+    Alcotest.(check (float 0.)) "float draw" (Rng_ref.float boxed 1.0) (Rng.float limb 1.0)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -675,6 +719,8 @@ let () =
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "pick member" `Quick test_rng_pick;
+          Alcotest.test_case "limbs match Int64 reference" `Quick
+            test_rng_matches_int64_reference;
         ]
         @ qsuite [ prop_rng_int_uniformish ] );
       ( "stats",

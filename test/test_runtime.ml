@@ -262,6 +262,229 @@ let test_site_call_checked_falls_back () =
   in
   Alcotest.check obs "checked run identical" (as_obs plain) (as_obs checked)
 
+(* ------------------------------------------------------------------ *)
+(* Runtime.msite — per-object method sites                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One method in both engines' vocabularies: charge 40 cycles at the
+   object's home, return state + a + b.  The msite contract requires the
+   two bodies to charge identical costs in identical order. *)
+let ms_frame_body space =
+  let done_ c =
+    let v : int = Obj.obj (Objspace.state space (Objspace.id_of_int (Runtime.msite_obj c))) in
+    Runtime.msite_finish c (v + Runtime.msite_arg_a c + Runtime.msite_arg_b c)
+  in
+  fun c -> Thread.Frame.hold_then c 40 done_
+
+let ms_cps_body space ~obj ~a ~b =
+  let* () = Thread.compute 40 in
+  Thread.return ((Obj.obj (Objspace.state space (Objspace.id_of_int obj)) : int) + a + b)
+
+(* Run a scripted thread against one 7-valued object homed at 5 and
+   collect [measure_invocations]' observables plus every result.  The
+   script gets the space, a fused-or-generic invoker (scoped and
+   unscoped), and the object id. *)
+let measure_msite ~access ~fused ?(arm_faults = false) script =
+  let m = machine () in
+  let rt = Runtime.create m in
+  let space = Objspace.create m in
+  let obj = Objspace.register space ~home:5 (Obj.repr 7) in
+  if arm_faults then
+    Transport.configure_faults (Machine.transport m) ~seed:1
+      [ ("migrate", Transport.no_fault) ];
+  let ms =
+    Runtime.msite rt ~access ~space ~args_words:8 ~result_words:2
+      ~frame_body:(ms_frame_body space) ~cps_body:(ms_cps_body space)
+  in
+  let scoped ~a ~b =
+    if fused then Runtime.msite_scoped ms ~obj:(obj :> int) ~a ~b
+    else
+      Runtime.scope rt ~result_words:2
+        (Runtime.call rt ~access
+           ~home:(Objspace.home space obj)
+           ~args_words:8 ~result_words:2
+           (ms_cps_body space ~obj:(obj :> int) ~a ~b))
+  in
+  let unscoped ~a ~b =
+    if fused then Runtime.msite_call ms ~obj:(obj :> int) ~a ~b
+    else
+      Runtime.call rt ~access
+        ~home:(Objspace.home space obj)
+        ~args_words:8 ~result_words:2
+        (ms_cps_body space ~obj:(obj :> int) ~a ~b)
+  in
+  let results = ref [] in
+  let ended = ref (-1) in
+  run_thread ~on:0 m
+    (let* () = script space obj ~scoped ~unscoped results in
+     let* p = Thread.proc in
+     ended := Processor.id p;
+     Thread.return ());
+  ( ( Machine.now m,
+      Network.total_messages m.Machine.net,
+      Runtime.migrations rt,
+      Runtime.local_calls rt,
+      Runtime.rpc_calls rt,
+      !ended ),
+    List.rev !results )
+
+(* Five scoped invocations, varying operands. *)
+let msite_repeat_script _space _obj ~scoped ~unscoped:_ results =
+  Thread.repeat 5 (fun i ->
+      let* r = scoped ~a:i ~b:(2 * i) in
+      results := r :: !results;
+      Thread.return ())
+
+let check_msite_pair name ~access ?arm_faults script =
+  let reference = measure_msite ~access ~fused:false ?arm_faults script in
+  let fused = measure_msite ~access ~fused:true ?arm_faults script in
+  Alcotest.check obs (name ^ ": observables identical") (as_obs (fst reference))
+    (as_obs (fst fused));
+  Alcotest.(check (list int)) (name ^ ": results identical") (snd reference) (snd fused);
+  fused
+
+let test_msite_matches_scope_call_migrate () =
+  let (_, messages, migrations, _, _, ended), results =
+    check_msite_pair "migrate" ~access:Runtime.Migrate msite_repeat_script
+  in
+  (* Each scoped call migrates there and sends the result back. *)
+  Alcotest.(check int) "five migrations" 5 migrations;
+  Alcotest.(check int) "two messages per call" 10 messages;
+  Alcotest.(check int) "caller back home" 0 ended;
+  Alcotest.(check (list int)) "method results" [ 7; 10; 13; 16; 19 ] results
+
+let test_msite_matches_scope_call_rpc () =
+  let (_, messages, _, _, rpcs, ended), _ =
+    check_msite_pair "rpc" ~access:Runtime.Rpc msite_repeat_script
+  in
+  Alcotest.(check int) "five rpcs" 5 rpcs;
+  Alcotest.(check int) "request+reply per rpc" 10 messages;
+  Alcotest.(check int) "caller stays put" 0 ended
+
+(* The home table is consulted per invocation: a concurrent
+   [Objspace.move] redirects the very next call, fused and generic
+   alike. *)
+let msite_move_script space obj ~scoped ~unscoped:_ results =
+  let* r1 = scoped ~a:1 ~b:0 in
+  results := r1 :: !results;
+  Objspace.move space obj ~to_:2;
+  let* r2 = scoped ~a:2 ~b:0 in
+  results := r2 :: !results;
+  Thread.return ()
+
+let test_msite_rebinds_on_move () =
+  let (_, messages, migrations, _, _, _), results =
+    check_msite_pair "move" ~access:Runtime.Migrate msite_move_script
+  in
+  Alcotest.(check int) "both calls migrated" 2 migrations;
+  Alcotest.(check int) "two messages per call" 4 messages;
+  Alcotest.(check (list int)) "same state at new home" [ 8; 9 ] results
+
+(* Unscoped migrate calls leave the thread at the home: the first
+   migrates, the rest are local — and a move re-opens the distance. *)
+let msite_sticky_script space obj ~scoped:_ ~unscoped results =
+  let* r1 = unscoped ~a:1 ~b:0 in
+  let* r2 = unscoped ~a:2 ~b:0 in
+  Objspace.move space obj ~to_:2;
+  let* r3 = unscoped ~a:3 ~b:0 in
+  results := [ r3; r2; r1 ] @ !results;
+  Thread.return ()
+
+let test_msite_unscoped_sticky () =
+  let (_, _, migrations, locals, _, ended), _ =
+    check_msite_pair "sticky" ~access:Runtime.Migrate msite_sticky_script
+  in
+  Alcotest.(check int) "migrated to 5 then to 2" 2 migrations;
+  Alcotest.(check int) "second call local" 1 locals;
+  Alcotest.(check int) "thread follows the object" 2 ended
+
+let test_msite_checked_falls_back () =
+  (* With the sanitizer armed the frame fast path is off; the msite must
+     route through the generic CPS composition with identical
+     observables. *)
+  let plain = measure_msite ~access:Runtime.Migrate ~fused:true msite_repeat_script in
+  Check.set_enabled true;
+  Check.reset ();
+  let checked =
+    Fun.protect
+      ~finally:(fun () ->
+        Check.set_enabled false;
+        Check.reset ())
+      (fun () -> measure_msite ~access:Runtime.Migrate ~fused:true msite_repeat_script)
+  in
+  Alcotest.check obs "checked run identical" (as_obs (fst plain)) (as_obs (fst checked));
+  Alcotest.(check (list int)) "checked results identical" (snd plain) (snd checked)
+
+let test_msite_faults_fall_back () =
+  (* Arming fault injection (even all-zero probabilities) disables the
+     frame engine; the msite's CPS fall-back must preserve every
+     observable. *)
+  let plain = measure_msite ~access:Runtime.Migrate ~fused:true msite_repeat_script in
+  let armed =
+    measure_msite ~access:Runtime.Migrate ~fused:true ~arm_faults:true msite_repeat_script
+  in
+  Alcotest.check obs "armed run identical" (as_obs (fst plain)) (as_obs (fst armed));
+  Alcotest.(check (list int)) "armed results identical" (snd plain) (snd armed)
+
+(* The whole-machine oracle: random interleavings of scoped calls,
+   unscoped calls, and object moves from two requesters over a shared
+   4-object space — fused method sites must leave a machine digest
+   bit-identical to the generic scope/call composition. *)
+let prop_msite_digest_oracle =
+  QCheck.Test.make ~name:"msite digest-identical to scope(call)" ~count:40
+    QCheck.(pair bool (list_of_size Gen.(1 -- 20) (pair (int_range 0 3) (int_range 0 9))))
+    (fun (migrate, ops) ->
+      let access = if migrate then Runtime.Migrate else Runtime.Rpc in
+      let run fused =
+        let m = machine () in
+        let rt = Runtime.create m in
+        let space = Objspace.create m in
+        let objs = Array.init 4 (fun i -> Objspace.register space ~home:(2 * i) (Obj.repr (i * 10))) in
+        let ms =
+          Runtime.msite rt ~access ~space ~args_words:8 ~result_words:2
+            ~frame_body:(ms_frame_body space) ~cps_body:(ms_cps_body space)
+        in
+        let op (i, x) =
+          let obj = objs.(i) in
+          if x >= 8 then begin
+            (* Re-home between calls: both runs must re-resolve. *)
+            Objspace.move space obj ~to_:((i + x) mod 8);
+            Thread.return ()
+          end
+          else if x land 1 = 0 then
+            Thread.ignore_m
+              (if fused then Runtime.msite_scoped ms ~obj:(obj :> int) ~a:x ~b:i
+               else
+                 (* Eta-delayed so the home is read when the op runs —
+                    the moment msite_enter reads it — not when the op
+                    list is built. *)
+                 fun c k ->
+                   Runtime.scope rt ~result_words:2
+                     (Runtime.call rt ~access
+                        ~home:(Objspace.home space obj)
+                        ~args_words:8 ~result_words:2
+                        (ms_cps_body space ~obj:(obj :> int) ~a:x ~b:i))
+                     c k)
+          else
+            Thread.ignore_m
+              (if fused then Runtime.msite_call ms ~obj:(obj :> int) ~a:x ~b:i
+               else
+                 fun c k ->
+                   Runtime.call rt ~access
+                     ~home:(Objspace.home space obj)
+                     ~args_words:8 ~result_words:2
+                     (ms_cps_body space ~obj:(obj :> int) ~a:x ~b:i)
+                     c k)
+        in
+        let evens = List.filteri (fun j _ -> j mod 2 = 0) ops in
+        let odds = List.filteri (fun j _ -> j mod 2 = 1) ops in
+        Machine.spawn m ~on:0 (Thread.iter_list op evens);
+        Machine.spawn m ~on:1 (Thread.iter_list op odds);
+        Machine.run m;
+        Machine.digest m
+      in
+      String.equal (run false) (run true))
+
 let test_scope_returns_home () =
   let m = machine () in
   let rt = Runtime.create m in
@@ -1010,6 +1233,14 @@ let () =
             test_site_call_matches_call_migrate;
           Alcotest.test_case "site matches call (rpc)" `Quick test_site_call_matches_call_rpc;
           Alcotest.test_case "site checked fallback" `Quick test_site_call_checked_falls_back;
+          Alcotest.test_case "msite matches scope(call) (migrate)" `Quick
+            test_msite_matches_scope_call_migrate;
+          Alcotest.test_case "msite matches scope(call) (rpc)" `Quick
+            test_msite_matches_scope_call_rpc;
+          Alcotest.test_case "msite rebinds on move" `Quick test_msite_rebinds_on_move;
+          Alcotest.test_case "msite unscoped sticky" `Quick test_msite_unscoped_sticky;
+          Alcotest.test_case "msite checked fallback" `Quick test_msite_checked_falls_back;
+          Alcotest.test_case "msite faults fallback" `Quick test_msite_faults_fall_back;
           Alcotest.test_case "scope returns home" `Quick test_scope_returns_home;
           Alcotest.test_case "scope at base" `Quick test_scope_at_base_short_circuits;
           Alcotest.test_case "scope local free" `Quick test_scope_local_body_free;
@@ -1036,6 +1267,7 @@ let () =
               prop_mixed_sequence_messages;
               prop_scope_always_returns_to_origin;
               prop_rpc_never_moves_thread;
+              prop_msite_digest_oracle;
             ] );
       ( "objmig",
         [

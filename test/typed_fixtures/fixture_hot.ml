@@ -19,3 +19,15 @@ let spin_partial () = List.fold_left ( + ) 0
 
 (* identical allocation outside the hot set: must NOT be flagged *)
 let cold_pair a b = (a, b)
+
+(* reading an existing closure out of state is a *full* application of a
+   1-or-2-ary callee, even though the result type ends in an arrow: the
+   pass must use the callee's runtime arity, not its type arity *)
+type spin_slot = { mutable fn : int -> int }
+
+let spin_slot = { fn = (fun x -> x) }
+let spin_take () = spin_slot.fn
+let spin_drive n = spin_take () n
+
+let spin_cell : (int -> int) array = [| (fun x -> x + 1) |]
+let spin_fn_read i = spin_cell.(i)
